@@ -1,0 +1,108 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation on the simulated Paragon.
+//
+// Usage:
+//
+//	experiments [-run id1,id2,...] [-quick] [-csv] [-list]
+//
+// With no -run flag every experiment runs, in paper order. -quick uses a
+// scaled-down machine for a fast smoke pass; -csv emits CSV instead of
+// aligned tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "use the scaled-down quick configuration")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	plot := flag.Bool("plot", false, "also draw ASCII charts for the figures")
+	outDir := flag.String("o", "", "also write each experiment's table as CSV into this directory")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := experiments.PaperScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+
+	var todo []experiments.Experiment
+	if *runIDs == "" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		table, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", e.ID)
+		if *csv {
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			if err := table.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*outDir, e.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := table.RenderCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *plot {
+			if chart, ok := experiments.Chart(e.ID, table); ok {
+				fmt.Println()
+				if err := chart.Render(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,189 @@
+// Command pfsbench is the general parameter-sweep harness: it crosses
+// I/O modes, request sizes, stripe units, stripe groups, compute delays
+// and prefetching on/off on a simulated Paragon and prints one row per
+// combination.
+//
+// Examples:
+//
+//	pfsbench -modes M_RECORD,M_ASYNC -requests 64,256,1024 -prefetch both
+//	pfsbench -requests 64 -delays 0,0.05,0.1 -csv
+//	pfsbench -compute 16 -io 8 -requests 64,128 -sunits 64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		computeN     = flag.Int("compute", 8, "compute nodes")
+		ioN          = flag.Int("io", 8, "I/O nodes")
+		modes        = flag.String("modes", "M_RECORD", "comma-separated I/O modes (M_UNIX,M_LOG,M_SYNC,M_RECORD,M_GLOBAL,M_ASYNC,SEPARATE)")
+		requests     = flag.String("requests", "64,128,256,512,1024", "request sizes in KB")
+		sunits       = flag.String("sunits", "64", "stripe unit sizes in KB")
+		sgroups      = flag.String("sgroups", "0", "stripe group sizes (0 = all I/O nodes)")
+		delays       = flag.String("delays", "0", "compute delays between reads, in seconds")
+		prefetchFlag = flag.String("prefetch", "off", "prefetching: off, on, or both")
+		depth        = flag.Int("depth", 1, "prefetch depth when enabled")
+		fileMB       = flag.Int64("file", 0, "file size in MB (0 = 16 rounds per node)")
+		csv          = flag.Bool("csv", false, "CSV output")
+	)
+	flag.Parse()
+
+	mcfgBase := machine.DefaultConfig()
+	mcfgBase.ComputeNodes = *computeN
+	mcfgBase.IONodes = *ioN
+
+	table := stats.NewTable("pfsbench sweep",
+		"Mode", "Request (KB)", "SU (KB)", "SGroup", "Delay (s)", "Prefetch",
+		"BW (MB/s)", "Mean read (s)", "Hit rate")
+
+	prefetchStates, err := prefetchStates(*prefetchFlag)
+	check(err)
+	modeList, err := parseModes(*modes)
+	check(err)
+	reqList, err := parseInts(*requests)
+	check(err)
+	suList, err := parseInts(*sunits)
+	check(err)
+	sgList, err := parseInts(*sgroups)
+	check(err)
+	delayList, err := parseFloats(*delays)
+	check(err)
+
+	for _, mode := range modeList {
+		for _, reqKB := range reqList {
+			for _, suKB := range suList {
+				for _, sg := range sgList {
+					for _, delay := range delayList {
+						for _, pfOn := range prefetchStates {
+							spec := workload.Spec{
+								FileSize:      *fileMB << 20,
+								RequestSize:   reqKB << 10,
+								Mode:          mode.mode,
+								SeparateFiles: mode.separate,
+								StripeUnit:    suKB << 10,
+								StripeGroup:   int(sg),
+								ComputeDelay:  sim.Seconds(delay),
+							}
+							if spec.FileSize == 0 {
+								spec.FileSize = spec.RequestSize * int64(*computeN) * 16
+							}
+							if pfOn {
+								pcfg := prefetch.DefaultConfig()
+								pcfg.Depth = *depth
+								pcfg.MaxBuffers = 2 * *depth
+								if pcfg.MaxBuffers < 16 {
+									pcfg.MaxBuffers = 16
+								}
+								spec.Prefetch = &pcfg
+							}
+							res, err := workload.Run(mcfgBase, spec)
+							check(err)
+							hit := "-"
+							if res.Prefetch != nil {
+								hit = fmt.Sprintf("%.2f", res.Prefetch.HitRate())
+							}
+							table.AddRow(mode.name, reqKB, suKB, sg, delay,
+								onOff(pfOn), res.Bandwidth, res.ReadTime.Mean(), hit)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if *csv {
+		check(table.RenderCSV(os.Stdout))
+	} else {
+		check(table.Render(os.Stdout))
+	}
+}
+
+type modeSpec struct {
+	name     string
+	mode     pfs.Mode
+	separate bool
+}
+
+func parseModes(s string) ([]modeSpec, error) {
+	byName := map[string]modeSpec{
+		"M_UNIX":   {"M_UNIX", pfs.MUnix, false},
+		"M_LOG":    {"M_LOG", pfs.MLog, false},
+		"M_SYNC":   {"M_SYNC", pfs.MSync, false},
+		"M_RECORD": {"M_RECORD", pfs.MRecord, false},
+		"M_GLOBAL": {"M_GLOBAL", pfs.MGlobal, false},
+		"M_ASYNC":  {"M_ASYNC", pfs.MAsync, false},
+		"SEPARATE": {"SEPARATE", pfs.MAsync, true},
+	}
+	var out []modeSpec
+	for _, name := range strings.Split(s, ",") {
+		m, ok := byName[strings.ToUpper(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown mode %q", name)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func prefetchStates(s string) ([]bool, error) {
+	switch s {
+	case "off":
+		return []bool{false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("-prefetch must be off, on, or both; got %q", s)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

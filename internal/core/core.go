@@ -1,0 +1,98 @@
+// Package core is the public face of the reproduction: a small façade
+// over the simulation stack that builds a Paragon, runs a workload under
+// a chosen PFS I/O mode with or without the prefetching prototype, and
+// returns the measurements the paper reports.
+//
+// The layers underneath, bottom-up:
+//
+//	sim        deterministic discrete-event kernel
+//	mesh       2-D wormhole mesh interconnect
+//	disk       SCSI disks and RAID-3 arrays
+//	ufs        per-I/O-node Unix file systems
+//	ionode     I/O node daemons
+//	pfs        the Parallel File System client (modes, striping, ART)
+//	prefetch   the paper's prefetching prototype
+//	machine    whole-machine assembly
+//	workload   the evaluation's synthetic workload programs
+//	experiments  generators for every table and figure
+//
+// Most users need only this package:
+//
+//	res, err := core.Run(core.DefaultMachine(), core.Workload{
+//	    FileSize:     128 << 20,
+//	    RequestSize:  64 << 10,
+//	    Mode:         core.MRecord,
+//	    ComputeDelay: core.Seconds(0.05),
+//	    Prefetch:     true,
+//	})
+//	fmt.Printf("%.2f MB/s\n", res.Bandwidth)
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported I/O modes (see pfs.Mode for semantics).
+const (
+	MUnix   = pfs.MUnix
+	MLog    = pfs.MLog
+	MSync   = pfs.MSync
+	MRecord = pfs.MRecord
+	MGlobal = pfs.MGlobal
+	MAsync  = pfs.MAsync
+)
+
+// Mode is a PFS I/O sharing mode.
+type Mode = pfs.Mode
+
+// MachineConfig describes the simulated hardware and system software.
+type MachineConfig = machine.Config
+
+// Result carries a run's measurements.
+type Result = workload.Result
+
+// Seconds converts seconds to simulated time.
+func Seconds(s float64) sim.Time { return sim.Seconds(s) }
+
+// DefaultMachine returns the paper's platform: 8 compute nodes, 8 I/O
+// nodes with RAID arrays, 64 KB blocks and stripe units.
+func DefaultMachine() MachineConfig { return machine.DefaultConfig() }
+
+// Workload describes a run at the level of the paper's experiments.
+type Workload struct {
+	FileSize     int64            // total bytes read across all nodes
+	RequestSize  int64            // bytes per read call per node
+	Mode         Mode             // I/O sharing mode
+	ComputeDelay sim.Time         // computation simulated between reads
+	Prefetch     bool             // run under the prefetching prototype
+	PrefetchCfg  *prefetch.Config // optional override (implies Prefetch)
+
+	SeparateFiles bool  // per-node private files instead of one shared file
+	StripeUnit    int64 // 0 = machine default (64 KB)
+	StripeGroup   int   // 0 = all I/O nodes
+}
+
+// Run executes the workload on a freshly built machine and returns its
+// measurements. Runs are deterministic: same inputs, same outputs.
+func Run(cfg MachineConfig, w Workload) (*Result, error) {
+	spec := workload.Spec{
+		FileSize:      w.FileSize,
+		RequestSize:   w.RequestSize,
+		Mode:          w.Mode,
+		ComputeDelay:  w.ComputeDelay,
+		SeparateFiles: w.SeparateFiles,
+		StripeUnit:    w.StripeUnit,
+		StripeGroup:   w.StripeGroup,
+	}
+	if w.PrefetchCfg != nil {
+		spec.Prefetch = w.PrefetchCfg
+	} else if w.Prefetch {
+		pcfg := prefetch.DefaultConfig()
+		spec.Prefetch = &pcfg
+	}
+	return workload.Run(cfg, spec)
+}

@@ -1,0 +1,102 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Array is a RAID-3-style byte-striped disk array: every request is split
+// evenly across all data members, so the members seek in lockstep and the
+// array behaves like one disk with N× the transfer rate. This matches the
+// SCSI RAID hardware on Paragon I/O nodes, whose arrays presented a
+// single fast logical volume.
+type Array struct {
+	k        *sim.Kernel
+	members  []*Disk
+	overhead sim.Time // array controller overhead per request
+
+	// Measurements.
+	Requests int64
+	Bytes    int64
+}
+
+// NewArray builds an array of n data members with the given geometry and
+// scheduling policy on each member.
+func NewArray(k *sim.Kernel, name string, n int, geo Geometry, sched Sched, overhead sim.Time) *Array {
+	if n <= 0 {
+		panic("disk: array needs at least one member")
+	}
+	a := &Array{k: k, overhead: overhead}
+	for i := 0; i < n; i++ {
+		a.members = append(a.members, New(k, fmt.Sprintf("%s.%d", name, i), geo, sched))
+	}
+	return a
+}
+
+// Members returns the array's member disks (for inspection in tests and
+// stats reporting).
+func (a *Array) Members() []*Disk { return a.members }
+
+// Capacity reports the usable capacity in bytes.
+func (a *Array) Capacity() int64 {
+	return a.members[0].Geometry().Capacity() * int64(len(a.members))
+}
+
+// SectorSize reports the logical sector size of the array: one stripe of
+// member sectors, the minimum I/O granularity.
+func (a *Array) SectorSize() int64 {
+	return a.members[0].Geometry().SectorSize * int64(len(a.members))
+}
+
+// do splits [off, off+n) bytes across the members and returns a signal
+// that fires when the slowest member completes.
+func (a *Array) do(off, n int64, write bool) *sim.Signal {
+	if off < 0 || n <= 0 || off+n > a.Capacity() {
+		panic(fmt.Sprintf("disk: array request [%d,+%d) outside %d-byte array", off, n, a.Capacity()))
+	}
+	a.Requests++
+	a.Bytes += n
+
+	ss := a.members[0].Geometry().SectorSize
+	nm := int64(len(a.members))
+	// Byte-striping: member i holds bytes i, i+nm, i+2nm, ... so a range
+	// of the logical volume maps to the same sector range on every
+	// member.
+	memberOff := off / nm
+	memberLen := (n + nm - 1) / nm
+	sector := memberOff / ss
+	count := (memberOff+memberLen+ss-1)/ss - sector
+	if count == 0 {
+		count = 1
+	}
+
+	done := sim.NewSignal(a.k)
+	remaining := len(a.members)
+	var firstErr error
+	at := a.k.Now() + a.overhead
+	a.k.At(at, func() {
+		for _, d := range a.members {
+			req := &Request{Sector: sector, Count: count, Write: write, Done: sim.NewSignal(a.k)}
+			req.Done.OnFire(func(err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				if remaining == 0 {
+					done.Fire(firstErr)
+				}
+			})
+			d.Submit(req)
+		}
+	})
+	return done
+}
+
+// Read starts a read of n bytes at byte offset off and returns its
+// completion signal.
+func (a *Array) Read(off, n int64) *sim.Signal { return a.do(off, n, false) }
+
+// Write starts a write of n bytes at byte offset off and returns its
+// completion signal.
+func (a *Array) Write(off, n int64) *sim.Signal { return a.do(off, n, true) }

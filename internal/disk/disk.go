@@ -1,0 +1,378 @@
+// Package disk models mid-1990s SCSI disks and the RAID-3 arrays that sat
+// behind each Intel Paragon I/O node.
+//
+// A Disk owns a FIFO- or SCAN-scheduled request queue served by one
+// simulated process. Service time for a request is
+//
+//	controller overhead + seek(distance) + rotational latency + transfer
+//
+// with the seek and rotation skipped when the request continues exactly
+// where the previous one ended (the disk is already on-track and
+// on-sector), which is what makes the file system's block coalescing and
+// contiguous allocation pay off.
+//
+// An Array byte-stripes every request across its members (RAID-3 style):
+// a read of n bytes keeps all members busy with n/members bytes each and
+// completes when the slowest member finishes.
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Error is a media or transport failure reported by a drive. The zero
+// probability default means errors never occur unless a test or
+// experiment arms fault injection.
+type Error struct {
+	Disk   string
+	Sector int64
+}
+
+// Error formats the failure with the drive and sector involved.
+func (e *Error) Error() string {
+	return fmt.Sprintf("disk %s: unrecoverable read error at sector %d", e.Disk, e.Sector)
+}
+
+// Geometry describes one disk's mechanics.
+type Geometry struct {
+	SectorSize      int64    // bytes per sector
+	SectorsPerTrack int64    // sectors on one track
+	Heads           int64    // tracks per cylinder
+	Cylinders       int64    // seek positions
+	RPM             float64  // spindle speed
+	SeekMin         sim.Time // single-cylinder seek
+	SeekMax         sim.Time // full-stroke seek
+	Overhead        sim.Time // controller/command overhead per request
+}
+
+// Seagate94601 returns parameters shaped after a ~0.5 GB early-90s SCSI
+// drive (Wren class): 4200 RPM, ~0.86 MB/s sustained media rate, ~12 ms
+// average seek. Calibrated so that an 8-compute/8-I/O-node machine
+// reproduces the read access times of the paper's Table 2 (≈0.4 s for a
+// 1 MB collective request).
+func Seagate94601() Geometry {
+	return Geometry{
+		SectorSize:      512,
+		SectorsPerTrack: 24,
+		Heads:           15,
+		Cylinders:       2500,
+		RPM:             4200,
+		SeekMin:         2 * sim.Millisecond,
+		SeekMax:         22 * sim.Millisecond,
+		Overhead:        1500 * sim.Microsecond,
+	}
+}
+
+// Capacity reports the disk's capacity in bytes.
+func (g Geometry) Capacity() int64 {
+	return g.SectorSize * g.SectorsPerTrack * g.Heads * g.Cylinders
+}
+
+// sectorTime is the time the media takes to pass one sector under a head.
+func (g Geometry) sectorTime() sim.Time {
+	rev := sim.Seconds(60 / g.RPM)
+	return rev / sim.Time(g.SectorsPerTrack)
+}
+
+// halfRotation is the expected rotational latency after a seek.
+func (g Geometry) halfRotation() sim.Time {
+	return sim.Seconds(60/g.RPM) / 2
+}
+
+// seekTime models the classic sub-linear seek curve between cylinders a
+// and b: SeekMin for one cylinder, growing with the square root of the
+// distance up to SeekMax.
+func (g Geometry) seekTime(a, b int64) sim.Time {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	frac := sqrtFrac(float64(d) / float64(g.Cylinders-1))
+	return g.SeekMin + sim.Time(float64(g.SeekMax-g.SeekMin)*frac)
+}
+
+func sqrtFrac(x float64) float64 {
+	// Newton's method; x ∈ [0,1] so this converges in a few steps. Avoids
+	// importing math for one call site... but clarity beats cleverness:
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Sched selects the order requests are served in.
+type Sched int
+
+const (
+	// FIFO serves requests in arrival order.
+	FIFO Sched = iota
+	// SCAN serves the nearest request in the current sweep direction
+	// (elevator), reversing at the ends.
+	SCAN
+	// CSCAN sweeps in one direction only, jumping back to the lowest
+	// pending cylinder at the end: fairer tail latency than SCAN.
+	CSCAN
+	// SSTF serves the request with the shortest seek from the current
+	// cylinder; best mean latency, can starve the edges.
+	SSTF
+)
+
+// String names the policy.
+func (s Sched) String() string {
+	switch s {
+	case FIFO:
+		return "FIFO"
+	case SCAN:
+		return "SCAN"
+	case CSCAN:
+		return "C-SCAN"
+	case SSTF:
+		return "SSTF"
+	default:
+		return fmt.Sprintf("Sched(%d)", int(s))
+	}
+}
+
+// Request is one disk I/O. Reads and writes cost the same in this model.
+type Request struct {
+	Sector int64 // starting logical sector
+	Count  int64 // sectors to transfer
+	Write  bool
+	Done   *sim.Signal // fired when the transfer completes
+
+	cylinder int64 // cached decode of Sector
+}
+
+// Disk is a single simulated drive.
+type Disk struct {
+	k     *sim.Kernel
+	name  string
+	geo   Geometry
+	sched Sched
+
+	faultRate float64
+	faultRng  *rand.Rand
+
+	queue   []*Request
+	server  *sim.Proc
+	idle    bool
+	wake    *sim.Queue[struct{}]
+	cur     int64 // current cylinder
+	nextLBA int64 // sector following the last transfer, -1 initially
+	dir     int64 // SCAN sweep direction: +1 or -1
+
+	// Measurements.
+	Requests int64
+	Sectors  int64
+	Errors   int64
+	Busy     stats.Utilization
+	SeekDist stats.Histogram // cylinders traveled per positioned request
+	QueueLen stats.Histogram // queue length observed at arrival
+}
+
+// New creates a disk on kernel k and starts its service process.
+func New(k *sim.Kernel, name string, geo Geometry, sched Sched) *Disk {
+	if geo.SectorSize <= 0 || geo.SectorsPerTrack <= 0 || geo.Heads <= 0 ||
+		geo.Cylinders <= 1 || geo.RPM <= 0 {
+		panic(fmt.Sprintf("disk %s: invalid geometry %+v", name, geo))
+	}
+	d := &Disk{
+		k:       k,
+		name:    name,
+		geo:     geo,
+		sched:   sched,
+		wake:    sim.NewQueue[struct{}](k),
+		nextLBA: -1,
+		dir:     1,
+	}
+	d.server = k.GoDaemon("disk/"+name, d.serve)
+	return d
+}
+
+// Geometry returns the disk's geometry.
+func (d *Disk) Geometry() Geometry { return d.geo }
+
+// InjectFaults arms fault injection: each request independently fails
+// with probability rate (deterministically, from seed). The request
+// still consumes its full service time — the error surfaces at
+// completion, as a real unrecoverable read does.
+func (d *Disk) InjectFaults(rate float64, seed int64) {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("disk: fault rate %v outside [0,1]", rate))
+	}
+	d.faultRate = rate
+	d.faultRng = rand.New(rand.NewSource(seed))
+}
+
+// Submit enqueues a request; req.Done fires when it completes. A request
+// extending past the end of the disk panics: the layer above sized the
+// volume wrong.
+func (d *Disk) Submit(req *Request) {
+	if req.Sector < 0 || req.Count <= 0 ||
+		(req.Sector+req.Count)*d.geo.SectorSize > d.geo.Capacity() {
+		panic(fmt.Sprintf("disk: request [%d,+%d) outside disk", req.Sector, req.Count))
+	}
+	if req.Done == nil {
+		req.Done = sim.NewSignal(d.k)
+	}
+	req.cylinder = req.Sector / (d.geo.SectorsPerTrack * d.geo.Heads)
+	d.QueueLen.Observe(float64(len(d.queue)))
+	d.queue = append(d.queue, req)
+	d.wake.Put(struct{}{})
+}
+
+// Read is a convenience wrapper: submit a read of count sectors at sector
+// and return its completion signal.
+func (d *Disk) Read(sector, count int64) *sim.Signal {
+	req := &Request{Sector: sector, Count: count, Done: sim.NewSignal(d.k)}
+	d.Submit(req)
+	return req.Done
+}
+
+// Write is the write-side convenience wrapper.
+func (d *Disk) Write(sector, count int64) *sim.Signal {
+	req := &Request{Sector: sector, Count: count, Write: true, Done: sim.NewSignal(d.k)}
+	d.Submit(req)
+	return req.Done
+}
+
+// serve is the drive's service loop. A request that arrives while the
+// drive is idle pays rotational latency even when logically sequential:
+// by the time the command reaches the drive the target sector has passed
+// under the head (these drives had no read-ahead track buffer). Requests
+// served back-to-back from a non-empty queue keep streaming.
+func (d *Disk) serve(p *sim.Proc) {
+	idleGap := true // spin-up counts as a gap
+	for {
+		if len(d.queue) == 0 {
+			idleGap = true
+			for len(d.queue) == 0 {
+				d.wake.Get(p)
+			}
+		}
+		// Drain stale wake tokens so the emptiness check stays accurate.
+		for {
+			if _, ok := d.wake.TryGet(); !ok {
+				break
+			}
+		}
+		req := d.pick()
+		d.Busy.Begin(p.Now())
+		p.Sleep(d.serviceTime(req, idleGap))
+		d.Busy.End(p.Now())
+		idleGap = false
+		d.Requests++
+		d.Sectors += req.Count
+		d.cur = (req.Sector + req.Count - 1) / (d.geo.SectorsPerTrack * d.geo.Heads)
+		d.nextLBA = req.Sector + req.Count
+		var err error
+		if d.faultRate > 0 && d.faultRng.Float64() < d.faultRate {
+			err = &Error{Disk: d.name, Sector: req.Sector}
+			d.Errors++
+		}
+		req.Done.Fire(err)
+	}
+}
+
+// pick removes and returns the next request per the scheduling policy.
+func (d *Disk) pick() *Request {
+	best := 0
+	if len(d.queue) > 1 {
+		switch d.sched {
+		case SCAN:
+			best = d.pickSCAN()
+		case CSCAN:
+			best = d.pickCSCAN()
+		case SSTF:
+			best = d.pickSSTF()
+		}
+	}
+	req := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	return req
+}
+
+// pickCSCAN returns the nearest request at-or-beyond the current cylinder
+// in the upward direction, wrapping to the lowest pending cylinder.
+func (d *Disk) pickCSCAN() int {
+	bestIdx, bestCyl := -1, int64(1)<<62
+	lowIdx, lowCyl := -1, int64(1)<<62
+	for i, r := range d.queue {
+		if r.cylinder < lowCyl {
+			lowIdx, lowCyl = i, r.cylinder
+		}
+		if r.cylinder >= d.cur && r.cylinder < bestCyl {
+			bestIdx, bestCyl = i, r.cylinder
+		}
+	}
+	if bestIdx >= 0 {
+		return bestIdx
+	}
+	return lowIdx
+}
+
+// pickSSTF returns the request with the shortest seek distance.
+func (d *Disk) pickSSTF() int {
+	bestIdx, bestDist := 0, int64(1)<<62
+	for i, r := range d.queue {
+		dist := abs64(r.cylinder - d.cur)
+		if dist < bestDist {
+			bestIdx, bestDist = i, dist
+		}
+	}
+	return bestIdx
+}
+
+// pickSCAN returns the index of the nearest request at-or-beyond the
+// current cylinder in the sweep direction, reversing if none remain.
+func (d *Disk) pickSCAN() int {
+	bestIdx, bestDist := -1, int64(1)<<62
+	for i, r := range d.queue {
+		delta := (r.cylinder - d.cur) * d.dir
+		if delta >= 0 && delta < bestDist {
+			bestIdx, bestDist = i, delta
+		}
+	}
+	if bestIdx < 0 {
+		d.dir = -d.dir
+		return d.pickSCAN()
+	}
+	return bestIdx
+}
+
+// serviceTime computes one request's cost given current head state.
+// Sequential continuation skips all positioning only while streaming; an
+// idle gap costs the rotation back to the target sector even on-track.
+func (d *Disk) serviceTime(req *Request, idleGap bool) sim.Time {
+	t := d.geo.Overhead
+	switch {
+	case req.Sector != d.nextLBA:
+		seek := d.geo.seekTime(d.cur, req.cylinder)
+		d.SeekDist.Observe(float64(abs64(req.cylinder - d.cur)))
+		t += seek + d.geo.halfRotation()
+	case idleGap:
+		d.SeekDist.Observe(0)
+		t += d.geo.halfRotation()
+	default:
+		d.SeekDist.Observe(0)
+	}
+	return t + sim.Time(req.Count)*d.geo.sectorTime()
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFaultInjectionAlwaysFails(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, "d0", testGeo(), FIFO)
+	d.InjectFaults(1, 1)
+	done := d.Read(0, 8)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var de *Error
+	if !errors.As(done.Err(), &de) {
+		t.Fatalf("err = %v, want *disk.Error", done.Err())
+	}
+	if de.Disk != "d0" || de.Sector != 0 {
+		t.Fatalf("error fields %+v", de)
+	}
+	if d.Errors != 1 {
+		t.Fatalf("Errors = %d", d.Errors)
+	}
+}
+
+func TestFaultInjectionDisabledByDefault(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, "d0", testGeo(), FIFO)
+	var sigs []*sim.Signal
+	for i := int64(0); i < 50; i++ {
+		sigs = append(sigs, d.Read(i*8, 8))
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sigs {
+		if s.Err() != nil {
+			t.Fatalf("unexpected fault with injection disarmed: %v", s.Err())
+		}
+	}
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	run := func() []bool {
+		k := sim.NewKernel()
+		d := New(k, "d0", testGeo(), FIFO)
+		d.InjectFaults(0.3, 99)
+		var sigs []*sim.Signal
+		for i := int64(0); i < 40; i++ {
+			sigs = append(sigs, d.Read(i*8, 8))
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, len(sigs))
+		for i, s := range sigs {
+			out[i] = s.Err() != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	anyFault := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fault pattern not deterministic")
+		}
+		anyFault = anyFault || a[i]
+	}
+	if !anyFault {
+		t.Fatal("0.3 fault rate produced no faults in 40 requests")
+	}
+}
+
+func TestFaultRateValidation(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, "d0", testGeo(), FIFO)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fault rate 2 accepted")
+		}
+	}()
+	d.InjectFaults(2, 0)
+}
+
+func TestArrayPropagatesMemberFault(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewArray(k, "raid", 4, testGeo(), FIFO, 0)
+	a.Members()[2].InjectFaults(1, 7)
+	done := a.Read(0, 64<<10)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var de *Error
+	if !errors.As(done.Err(), &de) {
+		t.Fatalf("array err = %v, want member *disk.Error", done.Err())
+	}
+	if de.Disk != "raid.2" {
+		t.Fatalf("fault attributed to %s, want raid.2", de.Disk)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Chart converts an experiment's table into the figure the paper drew,
+// when the experiment corresponds to one (fig2, fig4, fig5); ok reports
+// whether the id has a chart form. Tables (table1..4) stay tables.
+func Chart(id string, t *stats.Table) (*stats.Chart, bool) {
+	switch id {
+	case "fig2":
+		// Columns: request KB, then one bandwidth column per mode.
+		c := stats.NewChart(t.Title, "request size (KB)", "MB/s")
+		headers := t.Headers()
+		for col := 1; col < len(headers); col++ {
+			var s stats.Series
+			s.Name = headers[col]
+			for _, row := range t.Rows() {
+				x, xok := parseF(row[0])
+				y, yok := parseF(row[col])
+				if xok && yok {
+					s.X = append(s.X, x)
+					s.Y = append(s.Y, y)
+				}
+			}
+			c.Add(s)
+		}
+		return c, true
+
+	case "fig4", "fig5":
+		// Columns: request KB, delay s, plain MB/s, prefetch MB/s,
+		// speedup. One pair of series per request size, over delay.
+		c := stats.NewChart(t.Title, "compute delay (s)", "MB/s")
+		series := map[string]*stats.Series{}
+		var order []string
+		add := func(name string, x, y float64) {
+			s, ok := series[name]
+			if !ok {
+				s = &stats.Series{Name: name}
+				series[name] = s
+				order = append(order, name)
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		for _, row := range t.Rows() {
+			req := row[0]
+			delay, dok := parseF(row[1])
+			plain, pok := parseF(row[2])
+			fetched, fok := parseF(row[3])
+			if !dok || !pok || !fok {
+				continue
+			}
+			add(req+"KB", delay, plain)
+			add(req+"KB+pf", delay, fetched)
+		}
+		for _, name := range order {
+			c.Add(*series[name])
+		}
+		return c, true
+	}
+	return nil, false
+}
+
+func parseF(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runCSV executes an experiment and returns its table as parsed CSV
+// cells (tables are the experiments' only output, so the shape tests
+// read them back through CSV).
+func runCSV(t *testing.T, e Experiment, s Scale) [][]string {
+	t.Helper()
+	table, err := e.Run(s)
+	if err != nil {
+		t.Fatalf("%s: %v", e.ID, err)
+	}
+	var sb strings.Builder
+	if err := table.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	var rows [][]string
+	for _, line := range lines[1:] { // skip header
+		rows = append(rows, strings.Split(line, ","))
+	}
+	return rows
+}
+
+func cellF(t *testing.T, rows [][]string, r, c int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(rows[r][c], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not a float: %v", r, c, rows[r][c], err)
+	}
+	return v
+}
+
+func mustFind(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, err := Find(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(All()) < 12 {
+		t.Fatalf("expected ≥12 experiments, got %d", len(All()))
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "fig2"), QuickScale())
+	// Columns: req, M_UNIX, M_LOG, M_SYNC, M_RECORD, M_ASYNC, separate.
+	for r := range rows {
+		munix, mrec, masync := cellF(t, rows, r, 1), cellF(t, rows, r, 4), cellF(t, rows, r, 5)
+		if !(munix < mrec) {
+			t.Errorf("row %d: M_UNIX %.2f not below M_RECORD %.2f", r, munix, mrec)
+		}
+		if !(mrec <= masync*1.01) {
+			t.Errorf("row %d: M_RECORD %.2f above M_ASYNC %.2f", r, mrec, masync)
+		}
+	}
+	// Bandwidth grows with request size for the fast modes.
+	first, last := cellF(t, rows, 0, 4), cellF(t, rows, len(rows)-1, 4)
+	if last <= first {
+		t.Errorf("M_RECORD bandwidth flat: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "table1"), QuickScale())
+	// With no computation to overlap, prefetching must not win by more
+	// than noise, and must not lose catastrophically.
+	for r := range rows {
+		plain, fetched := cellF(t, rows, r, 2), cellF(t, rows, r, 3)
+		if fetched > plain*1.05 {
+			t.Errorf("row %d: prefetch %.2f beats plain %.2f at zero delay", r, fetched, plain)
+		}
+		if fetched < plain*0.80 {
+			t.Errorf("row %d: prefetch %.2f collapses vs plain %.2f", r, fetched, plain)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "table2"), QuickScale())
+	// Access time grows monotonically with request size.
+	prev := 0.0
+	for r := range rows {
+		v := cellF(t, rows, r, 1)
+		if v < prev {
+			t.Errorf("row %d: access time %.4f below previous %.4f", r, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "fig4"), QuickScale())
+	// Columns: req, delay, plain, prefetch, speedup. With a 50 ms delay,
+	// 64 KB requests (quick scale: read time « 50 ms) must show a real
+	// speedup.
+	sawGain := false
+	for r := range rows {
+		req, delay := cellF(t, rows, r, 0), cellF(t, rows, r, 1)
+		speedup := cellF(t, rows, r, 4)
+		if delay == 0 && speedup > 1.05 {
+			t.Errorf("req %v: speedup %.2f at zero delay", req, speedup)
+		}
+		if req == 64 && delay > 0 && speedup > 1.2 {
+			sawGain = true
+		}
+	}
+	if !sawGain {
+		t.Error("no overlap gain for 64 KB requests at any delay")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 at paper request sizes")
+	}
+	rows := runCSV(t, mustFind(t, "fig5"), QuickScale())
+	// Large requests: read time exceeds the delays, so speedups stay
+	// small (the paper's "no significant overlap" result).
+	for r := range rows {
+		if s := cellF(t, rows, r, 4); s > 1.35 {
+			t.Errorf("row %d: speedup %.2f for a large request; expected little overlap", r, s)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "table3"), QuickScale())
+	// At 64 KB requests, a 1 MB stripe unit directs each request to one
+	// I/O node: clearly below the 64 KB stripe unit.
+	su64, su1024 := cellF(t, rows, 0, 2), cellF(t, rows, 0, 4)
+	if su1024 >= su64 {
+		t.Errorf("64KB requests: su=1MB (%.2f) not below su=64KB (%.2f)", su1024, su64)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "table4"), QuickScale())
+	for r := range rows {
+		if s := cellF(t, rows, r, 4); s <= 1 {
+			t.Errorf("row %d: striping across all I/O nodes not faster (speedup %.2f)", r, s)
+		}
+	}
+	// The paper's qualitative claim: the 64 KB speedup is the lowest
+	// (prefetch overhead is most visible there).
+	first := cellF(t, rows, 0, 4)
+	for r := 1; r < len(rows); r++ {
+		if cellF(t, rows, r, 4) < first*0.9 {
+			t.Errorf("row %d speedup %.2f markedly below the 64KB row %.2f", r, cellF(t, rows, r, 4), first)
+		}
+	}
+}
+
+// TestEveryExperimentRuns smokes the full catalogue at quick scale: all
+// generators must produce rows without error, so a refactor cannot
+// silently break an artifact that only cmd/experiments exercises.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalogue is slow")
+	}
+	s := QuickScale()
+	s.Delays = []sim.Time{0, 50 * sim.Millisecond}
+	for _, e := range All() {
+		rows := runCSV(t, e, s)
+		if len(rows) == 0 {
+			t.Errorf("%s produced no rows", e.ID)
+		}
+	}
+}
+
+func TestChartsForFigures(t *testing.T) {
+	s := QuickScale()
+	s.Delays = []sim.Time{0, 50 * sim.Millisecond}
+	for _, id := range []string{"fig2", "fig4", "fig5"} {
+		e := mustFind(t, id)
+		table, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		chart, ok := Chart(id, table)
+		if !ok {
+			t.Fatalf("%s has no chart form", id)
+		}
+		var sb strings.Builder
+		if err := chart.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if len(sb.String()) == 0 {
+			t.Fatalf("%s chart empty", id)
+		}
+	}
+	if _, ok := Chart("table1", nil); ok {
+		t.Fatal("table1 should not chart")
+	}
+}
+
+func TestAblationFragMonotone(t *testing.T) {
+	rows := runCSV(t, mustFind(t, "ablation-frag"), QuickScale())
+	// More fragmentation, more disk ops, less bandwidth (ends vs ends).
+	bwFirst, bwLast := cellF(t, rows, 0, 1), cellF(t, rows, len(rows)-1, 1)
+	opsFirst, opsLast := cellF(t, rows, 0, 2), cellF(t, rows, len(rows)-1, 2)
+	if bwLast >= bwFirst {
+		t.Errorf("full fragmentation bandwidth %.2f not below contiguous %.2f", bwLast, bwFirst)
+	}
+	if opsLast <= opsFirst {
+		t.Errorf("full fragmentation disk ops %.0f not above contiguous %.0f", opsLast, opsFirst)
+	}
+}

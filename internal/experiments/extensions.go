@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/twophase"
+	"repro/internal/workload"
+)
+
+// ExtModes evaluates prefetching under every I/O mode — the paper's
+// stated future work ("we plan to implement prefetching in other file I/O
+// modes"). Shared unordered pointers (M_UNIX, M_LOG) admit no per-node
+// prediction, so the prototype stays idle there; M_SYNC uses the
+// round-total heuristic and M_GLOBAL reads ahead for the broadcast root.
+func ExtModes(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: prefetching across I/O modes (64KB requests, 50ms compute)",
+		"Mode", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "Hit rate", "Issued")
+	for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MGlobal, pfs.MAsync} {
+		spec := workload.Spec{
+			FileSize:     s.FileBytes / 4,
+			RequestSize:  64 << 10,
+			Mode:         mode,
+			ComputeDelay: 50 * sim.Millisecond,
+		}
+		plain, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-modes plain/%v: %w", mode, err)
+		}
+		pcfg := prefetch.DefaultConfig()
+		spec.Prefetch = &pcfg
+		fetched, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-modes prefetch/%v: %w", mode, err)
+		}
+		t.AddRow(mode.String(), plain.Bandwidth, fetched.Bandwidth,
+			fetched.Bandwidth/plain.Bandwidth, fetched.Prefetch.HitRate(), fetched.Prefetch.Issued)
+	}
+	return t, nil
+}
+
+// ExtTwoPhase compares three ways to deliver an interleaved record
+// distribution: the direct M_RECORD read, the same read under the
+// prefetching prototype, and the two-phase strategy of the paper's
+// reference [1] (large conforming reads + mesh redistribution). Small
+// records are where the strategies diverge.
+func ExtTwoPhase(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: direct vs prefetching vs two-phase collective read",
+		"Record (KB)", "Direct (MB/s)", "Prefetching (MB/s)", "Two-phase (MB/s)")
+	fileSize := s.FileBytes / 4
+	for _, rec := range []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		spec := workload.Spec{FileSize: fileSize, RequestSize: rec, Mode: pfs.MRecord}
+		direct, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-twophase direct/%d: %w", rec, err)
+		}
+		pcfg := prefetch.DefaultConfig()
+		spec.Prefetch = &pcfg
+		fetched, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-twophase prefetch/%d: %w", rec, err)
+		}
+		m := machine.Build(s.machineConfig())
+		if err := m.FS.Create("f", fileSize); err != nil {
+			return nil, err
+		}
+		tp, err := twophase.Read(m, "f", rec, s.Compute, twophase.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("ext-twophase twophase/%d: %w", rec, err)
+		}
+		t.AddRow(rec>>10, direct.Bandwidth, fetched.Bandwidth,
+			stats.MBps(tp.TotalBytes, tp.Elapsed))
+	}
+	return t, nil
+}
+
+// ExtWriteBehind evaluates the write-side mirror of the prototype:
+// synchronous writes vs staged write-behind, across compute delays.
+func ExtWriteBehind(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: write-behind (64KB records, partitioned writers)",
+		"Delay (s)", "Synchronous (MB/s)", "Write-behind (MB/s)", "Speedup", "Stalls")
+	fileSize := s.FileBytes / 4
+	for _, delay := range s.Delays {
+		var bws [2]float64
+		var stalls int64
+		for i, behind := range []bool{false, true} {
+			elapsed, st, err := writeRun(s, fileSize, 64<<10, delay, behind)
+			if err != nil {
+				return nil, fmt.Errorf("ext-writebehind %v/%v: %w", delay, behind, err)
+			}
+			bws[i] = stats.MBps(fileSize, elapsed)
+			if behind {
+				stalls = st
+			}
+		}
+		t.AddRow(delay.Seconds(), bws[0], bws[1], bws[1]/bws[0], stalls)
+	}
+	return t, nil
+}
+
+// writeRun has every node write its contiguous partition of a shared
+// file in 64 KB records, optionally through write-behind staging.
+func writeRun(s Scale, fileSize, rec int64, delay sim.Time, behind bool) (sim.Time, int64, error) {
+	m := machine.Build(s.machineConfig())
+	if err := m.FS.Create("f", fileSize); err != nil {
+		return 0, 0, err
+	}
+	var wb *prefetch.WriteBehind
+	if behind {
+		wb = prefetch.NewWriteBehind(m.K, prefetch.DefaultWriteBehindConfig())
+	}
+	parties := s.Compute
+	share := fileSize / int64(parties)
+	errs := make([]error, parties)
+	for i := 0; i < parties; i++ {
+		i := i
+		m.K.Go(fmt.Sprintf("writer%d", i), func(p *sim.Proc) {
+			errs[i] = func() error {
+				f, err := m.FS.Open("f", m.Compute[i], pfs.MAsync, nil)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				start := int64(i) * share
+				for off := start; off < start+share; off += rec {
+					if behind {
+						if err := wb.Write(p, f, off, rec); err != nil {
+							return err
+						}
+					} else if err := f.Write(p, off, rec); err != nil {
+						return err
+					}
+					if delay > 0 {
+						p.Sleep(delay)
+					}
+				}
+				if behind {
+					return wb.Flush(p, f)
+				}
+				return nil
+			}()
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		return 0, 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	var stalls int64
+	if wb != nil {
+		stalls = wb.Stalls
+	}
+	return m.K.Now(), stalls, nil
+}
+
+// ExtAdaptive evaluates the adaptive throttle: the prototype issues
+// read-ahead only when the application's observed compute gap gives it a
+// head start. It should match plain Fast Path at zero delay (no
+// overhead) and the standard prototype once overlap exists.
+func ExtAdaptive(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: adaptive prefetch throttling (M_RECORD, 64KB requests)",
+		"Delay (s)", "Plain (MB/s)", "Prefetch (MB/s)", "Adaptive (MB/s)", "Throttled")
+	for _, delay := range s.Delays {
+		spec := workload.Spec{
+			FileSize:     s.FileBytes / 4,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MRecord,
+			ComputeDelay: delay,
+		}
+		plain, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-adaptive plain/%v: %w", delay, err)
+		}
+		pcfg := prefetch.DefaultConfig()
+		spec.Prefetch = &pcfg
+		std, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-adaptive std/%v: %w", delay, err)
+		}
+		acfg := prefetch.DefaultConfig()
+		acfg.Adaptive = true
+		spec.Prefetch = &acfg
+		adapt, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-adaptive adaptive/%v: %w", delay, err)
+		}
+		t.AddRow(delay.Seconds(), plain.Bandwidth, std.Bandwidth, adapt.Bandwidth,
+			adapt.Prefetch.Throttled)
+	}
+	return t, nil
+}
+
+// ExtInterference runs two independent applications on disjoint halves of
+// the compute partition, sharing the I/O nodes: a balanced reader (the
+// "victim") and an I/O-bound scanner (the "aggressor"). It measures how
+// much of the victim's prefetching benefit survives a noisy neighbour.
+func ExtInterference(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: prefetching under multi-application interference (64KB, 50ms compute victim)",
+		"Scenario", "Victim B/W (MB/s)", "Victim hit rate")
+	type scenario struct {
+		name      string
+		prefetch  bool
+		aggressor bool
+	}
+	for _, sc := range []scenario{
+		{"alone, no prefetch", false, false},
+		{"alone, prefetch", true, false},
+		{"shared I/O nodes, no prefetch", false, true},
+		{"shared I/O nodes, prefetch", true, true},
+	} {
+		bw, hit, err := interferenceRun(s, sc.prefetch, sc.aggressor)
+		if err != nil {
+			return nil, fmt.Errorf("ext-interference %q: %w", sc.name, err)
+		}
+		t.AddRow(sc.name, bw, hit)
+	}
+	return t, nil
+}
+
+// interferenceRun drives the victim on the first half of the compute
+// nodes and, optionally, the aggressor on the second half, both against
+// the same I/O nodes. Returns the victim's bandwidth and hit rate.
+func interferenceRun(s Scale, withPrefetch, withAggressor bool) (float64, float64, error) {
+	m := machine.Build(s.machineConfig())
+	half := s.Compute / 2
+	if half == 0 {
+		half = 1
+	}
+	victimBytes := int64(half) * (64 << 10) * s.Rounds * 2
+	if err := m.FS.Create("victim", victimBytes); err != nil {
+		return 0, 0, err
+	}
+	var pf *prefetch.Prefetcher
+	if withPrefetch {
+		pf = prefetch.New(m.K, prefetch.DefaultConfig())
+	}
+	group := pfs.NewOpenGroup(m.K, half)
+	errs := make([]error, s.Compute)
+	var victimEnd sim.Time
+	var victimRead int64
+	for i := 0; i < half; i++ {
+		i := i
+		m.K.Go(fmt.Sprintf("victim%d", i), func(p *sim.Proc) {
+			errs[i] = func() error {
+				f, err := m.FS.Open("victim", m.Compute[i], pfs.MRecord, group)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if pf != nil {
+					pf.Attach(f)
+				}
+				for {
+					n, err := f.Read(p, 64<<10)
+					if err == io.EOF {
+						return nil
+					}
+					if err != nil {
+						return err
+					}
+					victimRead += n
+					p.Sleep(50 * sim.Millisecond)
+				}
+			}()
+			if p.Now() > victimEnd {
+				victimEnd = p.Now()
+			}
+		})
+	}
+	if withAggressor {
+		aggBytes := int64(s.Compute-half) * (64 << 10) * s.Rounds * 4
+		if err := m.FS.Create("aggressor", aggBytes); err != nil {
+			return 0, 0, err
+		}
+		aggGroup := pfs.NewOpenGroup(m.K, s.Compute-half)
+		for i := half; i < s.Compute; i++ {
+			i := i
+			m.K.Go(fmt.Sprintf("aggressor%d", i), func(p *sim.Proc) {
+				errs[i] = func() error {
+					f, err := m.FS.Open("aggressor", m.Compute[i], pfs.MRecord, aggGroup)
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					for {
+						if _, err := f.Read(p, 64<<10); err == io.EOF {
+							return nil
+						} else if err != nil {
+							return err
+						}
+					}
+				}()
+			})
+		}
+	}
+	if err := m.K.Run(); err != nil {
+		return 0, 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	bw := stats.MBps(victimRead, victimEnd)
+	hit := 0.0
+	if pf != nil {
+		hit = pf.HitRate()
+	}
+	return bw, hit, nil
+}
+
+// ExtScale grows the machine — the paper's other stated future work
+// ("evaluate the performance of prefetching on much larger systems").
+// Compute and I/O nodes scale together; per-node work is held constant.
+func ExtScale(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: scaling compute and I/O nodes together (64KB requests, 50ms compute)",
+		"Nodes (C+IO)", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "BW per node")
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		cfg := s.machineConfig()
+		cfg.ComputeNodes = n
+		cfg.IONodes = n
+		spec := workload.Spec{
+			FileSize:     int64(n) * (64 << 10) * s.Rounds * 4,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MRecord,
+			ComputeDelay: 50 * sim.Millisecond,
+		}
+		plain, err := workload.Run(cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-scale plain/%d: %w", n, err)
+		}
+		pcfg := prefetch.DefaultConfig()
+		spec.Prefetch = &pcfg
+		fetched, err := workload.Run(cfg, spec)
+		if err != nil {
+			return nil, fmt.Errorf("ext-scale prefetch/%d: %w", n, err)
+		}
+		t.AddRow(fmt.Sprintf("%d+%d", n, n), plain.Bandwidth, fetched.Bandwidth,
+			fetched.Bandwidth/plain.Bandwidth, fetched.Bandwidth/float64(n))
+	}
+	return t, nil
+}

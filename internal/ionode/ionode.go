@@ -1,0 +1,127 @@
+// Package ionode models the Paragon I/O node daemon: the server half of
+// the PFS. Each I/O node owns a UFS over a RAID array and serves stripe
+// requests arriving over the mesh, replying with the data (reads) or an
+// acknowledgement (writes).
+//
+// Request handling is event-driven: decode/dispatch costs CPU serialized
+// on the node's processor, the file system and disk layers below provide
+// the queuing, and the reply rides the mesh back to the requester.
+package ionode
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/ufs"
+)
+
+// Server is one I/O node daemon.
+type Server struct {
+	k    *sim.Kernel
+	m    *mesh.Mesh
+	node int // mesh address
+	fs   *ufs.FS
+
+	dispatch sim.Time // CPU cost to decode and dispatch one request
+	cpuFree  sim.Time // server CPU clock
+
+	// Measurements.
+	Requests      int64
+	BytesServed   int64
+	Faults        int64           // requests that failed at the disk layer
+	PrefetchHints int64           // server-side cache-warming hints received
+	Service       stats.Histogram // request residency at this node, seconds
+}
+
+// New creates a server for mesh address node over fs.
+func New(k *sim.Kernel, m *mesh.Mesh, node int, fs *ufs.FS, dispatch sim.Time) *Server {
+	return &Server{k: k, m: m, node: node, fs: fs, dispatch: dispatch}
+}
+
+// Node reports the server's mesh address.
+func (s *Server) Node() int { return s.node }
+
+// FS exposes the node's local file system (the PFS layer creates the
+// stripe files through it).
+func (s *Server) FS() *ufs.FS { return s.fs }
+
+// Read serves a stripe read: n bytes at off of local file name, on behalf
+// of compute node from. reply runs on the requester when the data has
+// been delivered (or immediately-ish with an error for a bad request).
+// Must be called in simulation context at this node — normally from a
+// mesh delivery callback.
+func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply func(error)) {
+	s.Requests++
+	start := s.k.Now()
+	s.onCPU(func() {
+		sig, err := s.fs.Read(name, off, n, ufs.ReadOptions{FastPath: fastPath})
+		if err != nil {
+			// Error replies are small control messages.
+			s.m.Send(s.node, from, 64, func() { reply(err) })
+			return
+		}
+		sig.OnFire(func(ioErr error) {
+			if ioErr != nil {
+				s.Faults++
+				s.m.Send(s.node, from, 64, func() { reply(ioErr) })
+				return
+			}
+			s.BytesServed += n
+			s.m.Send(s.node, from, n, func() {
+				s.Service.ObserveTime(s.k.Now() - start)
+				reply(nil)
+			})
+		})
+	})
+}
+
+// Prefetch warms the node's buffer cache with [off, off+n) of local file
+// name without shipping data anywhere: the server-side prefetch
+// placement. Fire-and-forget — errors on a speculative read are dropped.
+func (s *Server) Prefetch(name string, off, n int64) {
+	s.PrefetchHints++
+	s.onCPU(func() {
+		sig, err := s.fs.Read(name, off, n, ufs.ReadOptions{FastPath: false})
+		if err != nil {
+			return
+		}
+		sig.OnFire(func(error) {})
+	})
+}
+
+// Write serves a stripe write of n bytes at off of local file name. The
+// data travelled with the request (the caller charged the mesh for it);
+// the reply is a small acknowledgement.
+func (s *Server) Write(from int, name string, off, n int64, reply func(error)) {
+	s.Requests++
+	start := s.k.Now()
+	s.onCPU(func() {
+		sig, err := s.fs.Write(name, off, n)
+		if err != nil {
+			s.m.Send(s.node, from, 64, func() { reply(err) })
+			return
+		}
+		sig.OnFire(func(ioErr error) {
+			if ioErr != nil {
+				s.Faults++
+				s.m.Send(s.node, from, 64, func() { reply(ioErr) })
+				return
+			}
+			s.BytesServed += n
+			s.m.Send(s.node, from, 64, func() {
+				s.Service.ObserveTime(s.k.Now() - start)
+				reply(nil)
+			})
+		})
+	})
+}
+
+// onCPU serializes fn behind the server's dispatch CPU clock.
+func (s *Server) onCPU(fn func()) {
+	start := s.k.Now()
+	if s.cpuFree > start {
+		start = s.cpuFree
+	}
+	s.cpuFree = start + s.dispatch
+	s.k.At(s.cpuFree, fn)
+}

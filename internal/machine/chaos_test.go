@@ -1,0 +1,109 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// TestChaos throws randomized mixes of applications at one machine —
+// different modes, files, request sizes, compute delays, prefetching on
+// or off, occasional disk faults — and checks the global invariants:
+// the simulation terminates (no deadlock), every successful byte is
+// accounted for, and the whole mess is deterministic.
+func TestChaos(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		a := chaosRun(t, seed)
+		b := chaosRun(t, seed)
+		if a != b {
+			t.Logf("seed %d: non-deterministic: %+v vs %+v", seed, a, b)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type chaosOutcome struct {
+	End      sim.Time
+	OKBytes  int64
+	ErrReads int
+}
+
+func chaosRun(t *testing.T, seed int64) chaosOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := DefaultConfig()
+	cfg.ComputeNodes = 4 + rng.Intn(5)
+	cfg.IONodes = 2 + rng.Intn(7)
+	if rng.Intn(3) == 0 {
+		cfg.DiskFaultRate = 0.02
+		cfg.FaultSeed = seed
+	}
+	m := Build(cfg)
+
+	var out chaosOutcome
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	apps := 1 + rng.Intn(3)
+	node := 0
+	for app := 0; app < apps && node < cfg.ComputeNodes; app++ {
+		name := fmt.Sprintf("f%d", app)
+		req := int64(1+rng.Intn(8)) * 32 << 10
+		rounds := int64(2 + rng.Intn(6))
+		parties := 1 + rng.Intn(cfg.ComputeNodes-node)
+		mode := []pfs.Mode{pfs.MAsync, pfs.MRecord, pfs.MLog, pfs.MUnix, pfs.MSync}[rng.Intn(5)]
+		delay := sim.Time(rng.Intn(40)) * sim.Millisecond
+		usePF := rng.Intn(2) == 0
+		fileSize := req * int64(parties) * rounds
+		if err := m.FS.Create(name, fileSize); err != nil {
+			t.Fatal(err)
+		}
+		var group *pfs.OpenGroup
+		if mode.Collective() {
+			group = pfs.NewOpenGroup(m.K, parties)
+		}
+		for r := 0; r < parties; r++ {
+			myNode := m.Compute[node]
+			node++
+			m.K.Go(fmt.Sprintf("chaos%d.%d", app, r), func(p *sim.Proc) {
+				f, err := m.FS.Open(name, myNode, mode, group)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer f.Close()
+				if usePF {
+					pf.Attach(f)
+				}
+				for {
+					n, err := f.Read(p, req)
+					switch {
+					case err == io.EOF:
+						if p.Now() > out.End {
+							out.End = p.Now()
+						}
+						return
+					case err != nil:
+						out.ErrReads++
+					default:
+						out.OKBytes += n
+					}
+					if delay > 0 {
+						p.Sleep(delay)
+					}
+				}
+			})
+		}
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveConfig writes cfg to path as indented JSON, so an experiment's
+// exact machine can be archived and replayed.
+func SaveConfig(path string, cfg Config) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("machine: encoding config: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("machine: writing config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig reads a JSON config written by SaveConfig. Fields absent
+// from the file keep the zero value, so start from DefaultConfig when
+// writing configs by hand. Unknown fields are rejected — silently
+// ignoring a typo in an experiment config corrupts results.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("machine: reading config: %w", err)
+	}
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,49 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine.json")
+	orig := DefaultConfig()
+	orig.ComputeNodes = 16
+	orig.DiskFaultRate = 0.01
+	if err := SaveConfig(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip changed config:\n got %+v\nwant %+v", got, orig)
+	}
+	// The loaded config must actually build.
+	m := Build(got)
+	if len(m.Compute) != 16 {
+		t.Fatalf("built %d compute nodes", len(m.Compute))
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"ComputeNodes": 4, "NoSuchKnob": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

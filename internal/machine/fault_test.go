@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// TestFaultPropagatesToApplication checks the whole error path:
+// disk -> array -> ufs -> ionode -> mesh reply -> pfs -> Read.
+func TestFaultPropagatesToApplication(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 2
+	cfg.DiskFaultRate = 1
+	m := Build(cfg)
+	if err := m.FS.Create("f", 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, readErr = f.Read(p, 128<<10)
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var de *disk.Error
+	if !errors.As(readErr, &de) {
+		t.Fatalf("application saw %v, want *disk.Error", readErr)
+	}
+	var faults int64
+	for _, s := range m.Servers {
+		faults += s.Faults
+	}
+	if faults == 0 {
+		t.Fatal("no I/O node recorded the fault")
+	}
+}
+
+// TestFaultySystemStillCompletes runs a whole workload at a moderate
+// fault rate: individual reads fail, but the simulation neither panics
+// nor deadlocks, and successful reads still move data.
+func TestFaultySystemStillCompletes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeNodes = 4
+	cfg.IONodes = 4
+	cfg.DiskFaultRate = 0.05
+	cfg.FaultSeed = 42
+	m := Build(cfg)
+	if err := m.FS.Create("f", 8<<20); err != nil {
+		t.Fatal(err)
+	}
+	okReads, badReads := 0, 0
+	for i := 0; i < 4; i++ {
+		node := i
+		m.K.Go("reader", func(p *sim.Proc) {
+			f, err := m.FS.Open("f", node, pfs.MAsync, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			share := int64(2 << 20)
+			if err := f.SeekTo(int64(node) * share); err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < 32; r++ {
+				_, err := f.Read(p, 64<<10)
+				switch {
+				case err == io.EOF:
+					return
+				case err != nil:
+					badReads++
+				default:
+					okReads++
+				}
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if badReads == 0 {
+		t.Fatal("5% fault rate produced no failed reads")
+	}
+	if okReads == 0 {
+		t.Fatal("no read survived a 5% fault rate")
+	}
+}

@@ -1,0 +1,145 @@
+// Package machine assembles a complete simulated Intel Paragon: a 2-D
+// mesh with compute nodes on one row and I/O nodes (each with a RAID
+// array and a UFS) on another, plus a mounted PFS. This is the object
+// workloads and experiments program against.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/ionode"
+	"repro/internal/mesh"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// Config describes the machine to build. Zero values are filled from
+// DefaultConfig by Build, so callers can override selectively.
+type Config struct {
+	ComputeNodes int
+	IONodes      int
+
+	Mesh          mesh.Config // geometry fields are set by Build
+	DiskGeometry  disk.Geometry
+	DiskSched     disk.Sched
+	ArrayMembers  int      // disks per I/O node RAID array
+	ArrayOverhead sim.Time // RAID controller overhead per request
+	Dispatch      sim.Time // I/O node daemon per-request CPU
+	UFS           ufs.Config
+	PFS           pfs.Config
+
+	// DiskFaultRate arms per-request fault injection on every member
+	// disk (0 disables). Faults surface as read errors at the
+	// application, with the prefetcher falling back to direct reads.
+	DiskFaultRate float64
+	FaultSeed     int64
+}
+
+// DefaultConfig returns the paper's evaluation platform: 8 compute nodes
+// and 8 I/O nodes with SCSI RAID arrays, 64 KB file system blocks, and a
+// 64 KB default stripe unit across all 8 I/O nodes.
+func DefaultConfig() Config {
+	return Config{
+		ComputeNodes:  8,
+		IONodes:       8,
+		Mesh:          mesh.Paragon(8, 2),
+		DiskGeometry:  disk.Seagate94601(),
+		DiskSched:     disk.SCAN,
+		ArrayMembers:  4,
+		ArrayOverhead: 2 * sim.Millisecond,
+		Dispatch:      1 * sim.Millisecond,
+		UFS:           ufs.DefaultConfig(),
+		PFS:           pfs.DefaultConfig(),
+	}
+}
+
+// Machine is a built simulation instance.
+type Machine struct {
+	K       *sim.Kernel
+	Mesh    *mesh.Mesh
+	Servers []*ionode.Server
+	Arrays  []*disk.Array
+	FS      *pfs.FileSystem
+	Compute []int // mesh addresses of the compute nodes
+	cfg     Config
+}
+
+// Build constructs the machine on a near-square mesh (the Paragon's
+// meshes were roughly square, which is what gives broadcasts and
+// all-to-alls their bisection bandwidth): compute nodes fill the grid
+// row-major from the origin, I/O nodes take the following slots.
+func Build(cfg Config) *Machine {
+	if cfg.ComputeNodes <= 0 || cfg.IONodes <= 0 {
+		panic(fmt.Sprintf("machine: need compute and I/O nodes, got %d/%d", cfg.ComputeNodes, cfg.IONodes))
+	}
+	if cfg.ArrayMembers <= 0 {
+		cfg.ArrayMembers = 4
+	}
+	total := cfg.ComputeNodes + cfg.IONodes
+	w := 1
+	for w*w < total {
+		w++
+	}
+	h := (total + w - 1) / w
+	cfg.Mesh.Width = w
+	cfg.Mesh.Height = h
+
+	k := sim.NewKernel()
+	m := mesh.New(k, cfg.Mesh)
+	mach := &Machine{K: k, Mesh: m, cfg: cfg}
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		mach.Compute = append(mach.Compute, i)
+	}
+	for i := 0; i < cfg.IONodes; i++ {
+		array := disk.NewArray(k, fmt.Sprintf("raid%d", i), cfg.ArrayMembers,
+			cfg.DiskGeometry, cfg.DiskSched, cfg.ArrayOverhead)
+		mach.Arrays = append(mach.Arrays, array)
+		if cfg.DiskFaultRate > 0 {
+			for j, d := range array.Members() {
+				d.InjectFaults(cfg.DiskFaultRate, cfg.FaultSeed+int64(i*100+j))
+			}
+		}
+		ucfg := cfg.UFS
+		ucfg.Seed = cfg.UFS.Seed + int64(i)*7919 // distinct, deterministic layouts
+		fs := ufs.New(k, array, ucfg)
+		mach.Servers = append(mach.Servers, ionode.New(k, m, cfg.ComputeNodes+i, fs, cfg.Dispatch))
+	}
+	mach.FS = pfs.Mount(k, m, mach.Servers, cfg.PFS)
+	return mach
+}
+
+// Config returns the configuration the machine was built with (geometry
+// fields filled in).
+func (m *Machine) Config() Config { return m.cfg }
+
+// IONodeBytes reports the bytes served by each I/O node so far.
+func (m *Machine) IONodeBytes() []int64 {
+	out := make([]int64, len(m.Servers))
+	for i, s := range m.Servers {
+		out[i] = s.BytesServed
+	}
+	return out
+}
+
+// DiskUtilization reports the mean busy fraction across all member disks
+// at the current simulated time.
+func (m *Machine) DiskUtilization() float64 {
+	now := m.K.Now()
+	if now == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, a := range m.Arrays {
+		for _, d := range a.Members() {
+			sum += d.Busy.Fraction(now)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

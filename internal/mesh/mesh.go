@@ -1,0 +1,227 @@
+// Package mesh models the Intel Paragon's 2-D mesh interconnect.
+//
+// Messages are routed XY (all X hops, then all Y hops), the deadlock-free
+// dimension-order routing the Paragon used. Each unidirectional link and
+// each node's injection/ejection port is a serially reusable resource: a
+// message occupies it for size/bandwidth. The head of a message advances
+// one hop per HopLatency (virtual cut-through), so an uncontended
+// transfer costs
+//
+//	SoftwareOverhead + hops·HopLatency + size/LinkBandwidth
+//
+// and contention appears as queueing delay on whichever link or port is
+// busiest. Occupancy is resolved analytically at send time with per-link
+// free-at clocks, which is deterministic and accurate for the traffic
+// levels in this repository (the Paragon's 175 MB/s links are never the
+// bottleneck against mid-90s SCSI RAID arrays; disks are).
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes the interconnect hardware.
+type Config struct {
+	Width, Height int      // mesh dimensions; Width*Height node slots
+	HopLatency    sim.Time // per-hop header latency
+	LinkBandwidth float64  // bytes per second per link
+	NICBandwidth  float64  // bytes per second through a node's network port
+	SendOverhead  sim.Time // software cost to initiate a message (sender CPU)
+	RecvOverhead  sim.Time // software cost to accept a message (receiver CPU)
+}
+
+// Paragon returns a configuration with Intel Paragon XP/S-era parameters:
+// 175 MB/s links, ~40 ns per hop in hardware, and OSF/1 message-passing
+// software overheads in the tens of microseconds.
+func Paragon(width, height int) Config {
+	return Config{
+		Width:         width,
+		Height:        height,
+		HopLatency:    40 * sim.Nanosecond,
+		LinkBandwidth: 175e6,
+		NICBandwidth:  175e6,
+		SendOverhead:  30 * sim.Microsecond,
+		RecvOverhead:  20 * sim.Microsecond,
+	}
+}
+
+// direction of a unidirectional link leaving a node.
+type direction uint8
+
+const (
+	east direction = iota
+	west
+	north
+	south
+)
+
+// linkKey identifies one unidirectional link by its origin node and
+// direction.
+type linkKey struct {
+	node int
+	dir  direction
+}
+
+// Mesh is the interconnect instance. All methods must be called from
+// simulation context (events or processes of the owning kernel).
+type Mesh struct {
+	k   *sim.Kernel
+	cfg Config
+
+	linkFree   map[linkKey]sim.Time // per-link clock: earliest next use
+	injectFree []sim.Time           // per-node injection port clock
+	ejectFree  []sim.Time           // per-node ejection port clock
+
+	// Measurements.
+	Messages int64
+	Bytes    int64
+	Latency  stats.Histogram // end-to-end message latency, seconds
+}
+
+// New builds a mesh on kernel k. It panics on a non-positive geometry or
+// bandwidth, which would make every transfer time undefined.
+func New(k *sim.Kernel, cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic(fmt.Sprintf("mesh: bad geometry %dx%d", cfg.Width, cfg.Height))
+	}
+	if cfg.LinkBandwidth <= 0 || cfg.NICBandwidth <= 0 {
+		panic("mesh: bandwidth must be positive")
+	}
+	n := cfg.Width * cfg.Height
+	return &Mesh{
+		k:          k,
+		cfg:        cfg,
+		linkFree:   make(map[linkKey]sim.Time),
+		injectFree: make([]sim.Time, n),
+		ejectFree:  make([]sim.Time, n),
+	}
+}
+
+// Nodes reports the number of node slots in the mesh.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// coord maps a node id to mesh coordinates.
+func (m *Mesh) coord(id int) (x, y int) { return id % m.cfg.Width, id / m.cfg.Width }
+
+// route returns the XY path from src to dst as a sequence of links.
+func (m *Mesh) route(src, dst int) []linkKey {
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	var path []linkKey
+	cur := src
+	for x != dx {
+		if x < dx {
+			path = append(path, linkKey{cur, east})
+			x++
+		} else {
+			path = append(path, linkKey{cur, west})
+			x--
+		}
+		cur = y*m.cfg.Width + x
+	}
+	for y != dy {
+		if y < dy {
+			path = append(path, linkKey{cur, north})
+			y++
+		} else {
+			path = append(path, linkKey{cur, south})
+			y--
+		}
+		cur = y*m.cfg.Width + x
+	}
+	return path
+}
+
+// Hops reports the XY hop count between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(x-dx) + abs(y-dy)
+}
+
+// occupy advances a resource clock: the transfer starts at
+// max(arrival, free) and holds the resource for dur. It returns the start
+// time.
+func occupy(free *sim.Time, arrival sim.Time, dur sim.Time) sim.Time {
+	start := arrival
+	if *free > start {
+		start = *free
+	}
+	*free = start + dur
+	return start
+}
+
+// Send transmits size bytes from node src to node dst, invoking deliver on
+// the destination when the tail of the message (and the receiver software
+// overhead) has arrived. It returns the delivery time. Send itself does
+// not consume sender CPU time; callers that model a blocking sender should
+// sleep SendOverhead around the call (see Transfer).
+func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	if size < 0 {
+		panic("mesh: negative message size")
+	}
+	m.Messages++
+	m.Bytes += size
+
+	now := m.k.Now()
+	xfer := bytesTime(size, m.cfg.LinkBandwidth)
+	nicXfer := bytesTime(size, m.cfg.NICBandwidth)
+
+	// Software initiation, then the injection port.
+	headAt := now + m.cfg.SendOverhead
+	start := occupy(&m.injectFree[src], headAt, nicXfer)
+
+	// The head advances one hop per HopLatency; each link is held for the
+	// serialization time of the whole message from the moment the head
+	// claims it.
+	arrival := start
+	for _, lk := range m.route(src, dst) {
+		free := m.linkFree[lk]
+		s := occupy(&free, arrival+m.cfg.HopLatency, xfer)
+		m.linkFree[lk] = free
+		arrival = s
+	}
+
+	// Ejection port at the destination, then the tail (serialization time)
+	// and receive-side software.
+	ejStart := occupy(&m.ejectFree[dst], arrival+m.cfg.HopLatency, nicXfer)
+	deliveredAt := ejStart + nicXfer + m.cfg.RecvOverhead
+
+	m.Latency.Observe((deliveredAt - now).Seconds())
+	if deliver != nil {
+		m.k.At(deliveredAt, deliver)
+	}
+	return deliveredAt
+}
+
+// Transfer is the blocking-process form of Send: the calling process pays
+// the sender software overhead, the message is injected, and a Signal is
+// returned that fires at delivery on the destination.
+func (m *Mesh) Transfer(p *sim.Proc, src, dst int, size int64) *sim.Signal {
+	p.Sleep(m.cfg.SendOverhead)
+	done := sim.NewSignal(m.k)
+	// SendOverhead was already paid by the sleeping process; compensate so
+	// Send does not charge it twice.
+	saved := m.cfg.SendOverhead
+	m.cfg.SendOverhead = 0
+	m.Send(src, dst, size, func() { done.Fire(nil) })
+	m.cfg.SendOverhead = saved
+	return done
+}
+
+// bytesTime converts a byte count at a bandwidth to a duration.
+func bytesTime(size int64, bw float64) sim.Time {
+	return sim.Time(float64(size) / bw * float64(sim.Second))
+}

@@ -1,0 +1,296 @@
+package nx_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/nx"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+func testMachine() *machine.Machine {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 2
+	cfg.IONodes = 2
+	cfg.UFS.Fragmentation = 0
+	return machine.Build(cfg)
+}
+
+// onNode runs fn as a simulated process attached to node 0 and fails the
+// test on simulation error.
+func onNode(t *testing.T, m *machine.Machine, fn func(px *nx.Process)) {
+	t.Helper()
+	m.K.Go("nxproc", func(p *sim.Proc) {
+		fn(nx.Attach(p, m, 0))
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGopenCreadClose(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, err := px.Gopen("f", pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var total int64
+		for {
+			n, err := px.Cread(fd, 64<<10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n == 0 {
+				break // EOF, classic style
+			}
+			total += n
+		}
+		if total != 256<<10 {
+			t.Errorf("read %d, want 256KiB", total)
+		}
+		if err := px.Close(fd); err != nil {
+			t.Error(err)
+		}
+		if _, err := px.Cread(fd, 1); !errors.Is(err, nx.ErrBadFD) {
+			t.Errorf("read after close: %v", err)
+		}
+	})
+}
+
+func TestLseekWhence(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, _ := px.Gopen("f", pfs.MAsync, nil)
+		if off, err := px.Lseek(fd, 100, nx.SeekSet); err != nil || off != 100 {
+			t.Errorf("SeekSet -> %d, %v", off, err)
+		}
+		if off, err := px.Lseek(fd, 50, nx.SeekCur); err != nil || off != 150 {
+			t.Errorf("SeekCur -> %d, %v", off, err)
+		}
+		if off, err := px.Lseek(fd, -20, nx.SeekEnd); err != nil || off != 1<<20-20 {
+			t.Errorf("SeekEnd -> %d, %v", off, err)
+		}
+		if _, err := px.Lseek(fd, 0, 9); err == nil {
+			t.Error("bad whence accepted")
+		}
+		if eof, err := px.Eseof(fd); err != nil || eof {
+			t.Errorf("Eseof = %v, %v before end", eof, err)
+		}
+		if _, err := px.Lseek(fd, 0, nx.SeekEnd); err != nil {
+			t.Error(err)
+		}
+		if eof, _ := px.Eseof(fd); !eof {
+			t.Error("Eseof false at end")
+		}
+	})
+}
+
+func TestIreadIowaitIodone(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, _ := px.Gopen("f", pfs.MAsync, nil)
+		r1, err := px.Iread(fd, 128<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The pointer advanced immediately; a second iread targets the
+		// next region.
+		r2, err := px.Iread(fd, 128<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if px.Iodone(r1) {
+			t.Error("request done before any simulated time passed")
+		}
+		if err := px.Iowait(r1); err != nil {
+			t.Error(err)
+		}
+		if err := px.Iowait(r2); err != nil {
+			t.Error(err)
+		}
+		if !px.Iodone(r2) {
+			t.Error("Iodone false after Iowait")
+		}
+		if off, _ := px.Lseek(fd, 0, nx.SeekCur); off != 256<<10 {
+			t.Errorf("pointer at %d after two ireads", off)
+		}
+	})
+}
+
+func TestIreadRequiresAsyncMode(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, _ := px.Gopen("f", pfs.MUnix, nil)
+		if _, err := px.Iread(fd, 64<<10); err == nil {
+			t.Error("iread on M_UNIX accepted")
+		}
+		if err := px.Iowait(nil); err == nil {
+			t.Error("iowait(nil) accepted")
+		}
+	})
+}
+
+func TestSetiomodeMidFile(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, _ := px.Gopen("f", pfs.MUnix, nil)
+		if mode, _ := px.Iomode(fd); mode != pfs.MUnix {
+			t.Errorf("mode = %v", mode)
+		}
+		if _, err := px.Cread(fd, 64<<10); err != nil {
+			t.Error(err)
+		}
+		if err := px.Setiomode(fd, pfs.MAsync); err != nil {
+			t.Error(err)
+		}
+		if mode, _ := px.Iomode(fd); mode != pfs.MAsync {
+			t.Errorf("mode after setiomode = %v", mode)
+		}
+		// Collective modes need a group: this open had none.
+		if err := px.Setiomode(fd, pfs.MRecord); err == nil {
+			t.Error("setiomode to collective without group accepted")
+		}
+	})
+}
+
+func TestCwrite(t *testing.T) {
+	m := testMachine()
+	if err := m.FS.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	onNode(t, m, func(px *nx.Process) {
+		fd, _ := px.Gopen("f", pfs.MAsync, nil)
+		n, err := px.Cwrite(fd, 128<<10)
+		if err != nil || n != 128<<10 {
+			t.Errorf("Cwrite = %d, %v", n, err)
+		}
+		if off, _ := px.Lseek(fd, 0, nx.SeekCur); off != 128<<10 {
+			t.Errorf("pointer = %d after write", off)
+		}
+		// Writing past EOF clamps, then returns 0 at the end.
+		if _, err := px.Lseek(fd, 0, nx.SeekEnd); err != nil {
+			t.Error(err)
+		}
+		if n, err := px.Cwrite(fd, 64<<10); err != nil || n != 0 {
+			t.Errorf("Cwrite at EOF = %d, %v", n, err)
+		}
+	})
+}
+
+// TestNXCollectiveProgram ports the paper's workload shape to the nx
+// veneer: all nodes gopen in M_RECORD and cread until EOF, with a
+// prefetcher attached through File().
+func TestNXCollectiveProgram(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 4
+	cfg.IONodes = 4
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	group := pfs.NewOpenGroup(m.K, 4)
+	var total int64
+	for i := 0; i < 4; i++ {
+		node := i
+		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			px := nx.Attach(p, m, node)
+			fd, err := px.Gopen("f", pfs.MRecord, group)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f, _ := px.File(fd)
+			pf.Attach(f)
+			for {
+				n, err := px.Cread(fd, 64<<10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				total += n
+				p.Sleep(40 * sim.Millisecond)
+			}
+			if err := px.Close(fd); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 2<<20 {
+		t.Fatalf("collective nx program read %d, want 2MiB", total)
+	}
+	if pf.HitRate() < 0.5 {
+		t.Fatalf("hit rate %.2f with 40ms compute", pf.HitRate())
+	}
+}
+
+func TestNamespaceWrappers(t *testing.T) {
+	m := testMachine()
+	onNode(t, m, func(px *nx.Process) {
+		if err := px.Mkdir("/runs"); err != nil {
+			t.Error(err)
+		}
+		if info, err := px.Stat("/runs"); err != nil || !info.IsDir {
+			t.Errorf("Stat(/runs) = %+v, %v", info, err)
+		}
+		if err := px.Unlink("/runs"); err != nil {
+			t.Error(err)
+		}
+		if _, err := px.Stat("/runs"); err == nil {
+			t.Error("stat after unlink succeeded")
+		}
+	})
+}
+
+func TestBadDescriptorEverywhere(t *testing.T) {
+	m := testMachine()
+	onNode(t, m, func(px *nx.Process) {
+		if _, err := px.Gopen("ghost", pfs.MAsync, nil); err == nil {
+			t.Error("gopen of missing file accepted")
+		}
+		for _, err := range []error{
+			func() error { _, e := px.Cread(7, 1); return e }(),
+			func() error { _, e := px.Cwrite(7, 1); return e }(),
+			func() error { _, e := px.Iread(7, 1); return e }(),
+			func() error { _, e := px.Lseek(7, 0, nx.SeekSet); return e }(),
+			func() error { _, e := px.Iomode(7); return e }(),
+			func() error { _, e := px.Eseof(7); return e }(),
+			px.Setiomode(7, pfs.MAsync),
+			px.Close(7),
+		} {
+			if !errors.Is(err, nx.ErrBadFD) {
+				t.Errorf("want ErrBadFD, got %v", err)
+			}
+		}
+	})
+}

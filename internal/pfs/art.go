@@ -1,0 +1,93 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Async is one asynchronous request: the internal structure the Paragon
+// OS allocates in the setup phase and tracks on the active list. Done
+// fires when the data is available (reads) or durable (writes); the ART
+// itself moves no user-visible pointers.
+type Async struct {
+	Off, N int64
+	Write  bool
+	Done   *sim.Signal
+}
+
+// art is the asynchronous request thread machinery for one open
+// instance: requests queue FIFO on the active list and a dedicated
+// thread posts and processes them one at a time via Fast Path, exactly
+// the structure Section 3 of the paper describes.
+type art struct {
+	active *sim.Queue[*Async]
+	issued int64
+}
+
+// IReadAt queues an asynchronous read of [off, off+n) and returns its
+// tracking structure immediately (the setup phase). The request is
+// processed FIFO by the file's asynchronous request thread. An
+// out-of-range request fails the returned signal rather than erroring
+// synchronously, matching how the asynchronous path reports errors at
+// wait time.
+func (f *File) IReadAt(off, n int64) *Async {
+	return f.enqueue(&Async{Off: off, N: n})
+}
+
+// IWriteAt queues an asynchronous write of [off, off+n), the write-side
+// twin of IReadAt (used by the write-behind extension).
+func (f *File) IWriteAt(off, n int64) *Async {
+	return f.enqueue(&Async{Off: off, N: n, Write: true})
+}
+
+func (f *File) enqueue(req *Async) *Async {
+	req.Done = sim.NewSignal(f.fsys.k)
+	op := "read"
+	if req.Write {
+		op = "write"
+	}
+	if f.closed {
+		f.fsys.k.After(0, func() { req.Done.Fire(ErrClosed) })
+		return req
+	}
+	if req.Off < 0 || req.N <= 0 || req.Off+req.N > f.meta.size {
+		err := fmt.Errorf("pfs: async %s [%d,+%d) outside %s (%d bytes)",
+			op, req.Off, req.N, f.meta.name, f.meta.size)
+		f.fsys.k.After(0, func() { req.Done.Fire(err) })
+		return req
+	}
+	if f.art == nil {
+		f.art = &art{active: sim.NewQueue[*Async](f.fsys.k)}
+		f.fsys.k.GoDaemon(fmt.Sprintf("art/%s@%d", f.meta.name, f.node), f.artLoop)
+	}
+	f.art.issued++
+	f.art.active.Put(req)
+	return req
+}
+
+// artLoop is the asynchronous request thread: it pulls requests off the
+// active list in FIFO order, pays the posting cost, performs the read via
+// Fast Path, and fires the completion.
+func (f *File) artLoop(p *sim.Proc) {
+	for {
+		req := f.art.active.Get(p)
+		p.Sleep(f.fsys.cfg.ARTSetup)
+		var err error
+		if req.Write {
+			err = f.fsys.stripeIO(f.node, f.meta, req.Off, req.N, true).Wait(p)
+		} else {
+			err = f.BlockingIO(p, req.Off, req.N)
+		}
+		req.Done.Fire(err)
+	}
+}
+
+// AsyncIssued reports how many asynchronous requests this open instance
+// has queued (for tests and stats).
+func (f *File) AsyncIssued() int64 {
+	if f.art == nil {
+		return 0
+	}
+	return f.art.issued
+}

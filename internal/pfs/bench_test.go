@@ -1,0 +1,50 @@
+package pfs
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkDecluster measures the striping arithmetic on the hot path.
+func BenchmarkDecluster(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		decluster(int64(i)*64<<10, 1<<20, 64<<10, 8)
+	}
+}
+
+// BenchmarkCollectiveRead measures an end-to-end M_RECORD whole-file scan
+// on a small machine: the cost of simulating one evaluation data point.
+func BenchmarkCollectiveRead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := newRig(b, 4, 4)
+		if err := r.fsys.Create("f", 4<<20); err != nil {
+			b.Fatal(err)
+		}
+		group := NewOpenGroup(r.k, 4)
+		for n := 0; n < 4; n++ {
+			node := n
+			r.k.Go("reader", func(p *sim.Proc) {
+				f, err := r.fsys.Open("f", node, MRecord, group)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for {
+					if _, err := f.Read(p, 64<<10); err == io.EOF {
+						return
+					} else if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		}
+		if err := r.k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package pfs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSyncPartialFinalRound: an M_SYNC file whose size is not a multiple
+// of the round total leaves the last round ragged — low ranks get their
+// slice, high ranks get less or nothing — and nobody deadlocks on the
+// barrier.
+func TestSyncPartialFinalRound(t *testing.T) {
+	const parties = 4
+	const req = 64 << 10
+	// 2.5 rounds: round 0 full, round 1 full, round 2 has 2 records.
+	fileSize := int64(req * parties * 2.5)
+	r := newRig(t, parties, 2)
+	if err := r.fsys.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	group := NewOpenGroup(r.k, parties)
+	perNode := make([]int64, parties)
+	for i := 0; i < parties; i++ {
+		i := i
+		node := r.compute[i]
+		r.k.Go(fmt.Sprintf("reader%d", i), func(p *sim.Proc) {
+			f, err := r.fsys.Open("f", node, MSync, group)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				n, err := f.Read(p, req)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				perNode[i] += n
+			}
+		})
+	}
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range perNode {
+		total += n
+	}
+	if total != fileSize {
+		t.Fatalf("total read %d, want %d", total, fileSize)
+	}
+	// Ranks 0 and 1 get 3 records; ranks 2 and 3 only 2.
+	if perNode[0] != 3*req || perNode[3] != 2*req {
+		t.Fatalf("ragged round split wrong: %v", perNode)
+	}
+}
+
+// TestSyncVariableSizes: M_SYNC permits different request sizes per
+// rank; offsets are the rank prefix-sum each round.
+func TestSyncVariableSizes(t *testing.T) {
+	const parties = 3
+	sizes := []int64{32 << 10, 64 << 10, 128 << 10}
+	roundTotal := int64(224 << 10)
+	fileSize := roundTotal * 4
+	r := newRig(t, parties, 2)
+	if err := r.fsys.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	group := NewOpenGroup(r.k, parties)
+	perNode := make([]int64, parties)
+	for i := 0; i < parties; i++ {
+		i := i
+		node := r.compute[i]
+		r.k.Go(fmt.Sprintf("reader%d", i), func(p *sim.Proc) {
+			f, err := r.fsys.Open("f", node, MSync, group)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				n, err := f.Read(p, sizes[i])
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				perNode[i] += n
+			}
+		})
+	}
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int64{4 * 32 << 10, 4 * 64 << 10, 4 * 128 << 10} {
+		if perNode[i] != want {
+			t.Fatalf("rank %d read %d, want %d (perNode=%v)", i, perNode[i], want, perNode)
+		}
+	}
+}
+
+func TestGroupOverjoinPanics(t *testing.T) {
+	r := newRig(t, 2, 2)
+	if err := r.fsys.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	g := NewOpenGroup(r.k, 1)
+	if _, err := r.fsys.Open("f", 0, MSync, g); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("joining a full group did not panic")
+		}
+	}()
+	r.fsys.Open("f", 1, MSync, g) //nolint:errcheck // panics before returning
+}
+
+func TestNewOpenGroupValidation(t *testing.T) {
+	r := newRig(t, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-party group did not panic")
+		}
+	}()
+	NewOpenGroup(r.k, 0)
+}

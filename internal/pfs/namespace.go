@@ -1,0 +1,141 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// ErrNotEmpty reports an attempt to remove a non-empty directory.
+var ErrNotEmpty = errors.New("pfs: directory not empty")
+
+// ErrBusy reports an attempt to remove an open file.
+var ErrBusy = errors.New("pfs: file is open")
+
+// clean canonicalizes a PFS path: absolute, no trailing slash (except
+// root), "." and ".." resolved.
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// Info describes a namespace entry.
+type Info struct {
+	Path        string
+	IsDir       bool
+	Size        int64
+	StripeUnit  int64
+	StripeGroup int
+}
+
+// Mkdir creates a directory. The parent must exist and the name must be
+// free.
+func (fsys *FileSystem) Mkdir(p string) error {
+	p = clean(p)
+	if p == "/" {
+		return fmt.Errorf("%w: /", ErrExists)
+	}
+	if fsys.dirs[p] {
+		return fmt.Errorf("%w: %s", ErrExists, p)
+	}
+	if _, ok := fsys.files[p]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, p)
+	}
+	if parent := path.Dir(p); !fsys.dirs[parent] {
+		return fmt.Errorf("%w: %s", ErrNotExist, parent)
+	}
+	fsys.dirs[p] = true
+	return nil
+}
+
+// Stat describes a file or directory.
+func (fsys *FileSystem) Stat(p string) (Info, error) {
+	p = clean(p)
+	if fsys.dirs[p] {
+		return Info{Path: p, IsDir: true}, nil
+	}
+	meta, ok := fsys.files[p]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	return Info{
+		Path:        p,
+		Size:        meta.size,
+		StripeUnit:  meta.su,
+		StripeGroup: len(meta.group),
+	}, nil
+}
+
+// Remove deletes a file (reclaiming its stripe space on every I/O node)
+// or an empty directory. Removing an open file fails with ErrBusy, as in
+// the PFS, whose server refused to unlink busy vnodes.
+func (fsys *FileSystem) Remove(p string) error {
+	p = clean(p)
+	if fsys.dirs[p] {
+		if p == "/" {
+			return fmt.Errorf("pfs: cannot remove /")
+		}
+		entries, err := fsys.List(p)
+		if err != nil {
+			return err
+		}
+		if len(entries) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+		}
+		delete(fsys.dirs, p)
+		return nil
+	}
+	meta, ok := fsys.files[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if meta.opens > 0 {
+		return fmt.Errorf("%w: %s (%d opens)", ErrBusy, p, meta.opens)
+	}
+	for _, srvIdx := range meta.group {
+		srv := fsys.servers[srvIdx]
+		// Small files may not have a stripe on every member.
+		if _, err := srv.FS().Size(meta.localName()); err == nil {
+			if err := srv.FS().Remove(meta.localName()); err != nil {
+				return fmt.Errorf("pfs: removing stripe on I/O node %d: %w", srvIdx, err)
+			}
+		}
+	}
+	delete(fsys.files, p)
+	return nil
+}
+
+// List returns the names (not full paths) of the entries directly inside
+// directory p, sorted.
+func (fsys *FileSystem) List(p string) ([]string, error) {
+	p = clean(p)
+	if !fsys.dirs[p] {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	var out []string
+	contains := func(full string) (string, bool) {
+		if path.Dir(full) != p {
+			return "", false
+		}
+		return path.Base(full), true
+	}
+	for full := range fsys.files {
+		if name, ok := contains(full); ok {
+			out = append(out, name)
+		}
+	}
+	for full := range fsys.dirs {
+		if full == "/" {
+			continue
+		}
+		if name, ok := contains(full); ok {
+			out = append(out, name+"/")
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

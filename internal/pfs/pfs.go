@@ -1,0 +1,319 @@
+// Package pfs implements the Paragon Parallel File System model: files
+// striped in fixed-size stripe units across a group of I/O nodes, the six
+// nx I/O sharing modes, Fast Path I/O, and the asynchronous request
+// machinery (ART) that the prefetching prototype builds on.
+//
+// The package is the client half of the file system — the code that ran
+// on compute nodes inside the Paragon OS server. The server half is
+// package ionode; package prefetch plugs in through the PrefetchService
+// hook exactly where the paper modified the PFS client.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+
+	"repro/internal/ionode"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config holds the software costs and striping defaults of a PFS mount.
+type Config struct {
+	StripeUnit   int64    // default stripe unit size in bytes
+	ClientCall   sim.Time // compute-node CPU per read/write system call
+	TokenClaim   sim.Time // shared-pointer token round-trip (M_UNIX, M_LOG)
+	SyncStagger  sim.Time // per-rank claim stagger in M_SYNC
+	CollectSync  sim.Time // collective coordination cost per M_RECORD/M_GLOBAL op
+	RequestBytes int64    // control message size on the mesh
+	ARTSetup     sim.Time // async request setup + posting cost in the ART
+	FastPath     bool     // bypass I/O-node buffer caches (PFS "buffering off")
+}
+
+// DefaultConfig returns the mount parameters used throughout the paper's
+// evaluation: 64 KB stripe units and Fast Path enabled.
+func DefaultConfig() Config {
+	return Config{
+		StripeUnit:   64 << 10,
+		ClientCall:   1000 * sim.Microsecond,
+		TokenClaim:   5 * sim.Millisecond,
+		SyncStagger:  400 * sim.Microsecond,
+		CollectSync:  250 * sim.Microsecond,
+		RequestBytes: 128,
+		ARTSetup:     300 * sim.Microsecond,
+		FastPath:     true,
+	}
+}
+
+// Errors returned by file operations.
+var (
+	ErrClosed    = errors.New("pfs: file is closed")
+	ErrExists    = errors.New("pfs: file exists")
+	ErrNotExist  = errors.New("pfs: file does not exist")
+	ErrBadSize   = errors.New("pfs: M_RECORD requires equal sizes on all nodes")
+	ErrNeedGroup = errors.New("pfs: collective mode requires an open group")
+)
+
+// fileMeta is the OS-server-side state of one PFS file, shared by every
+// open instance.
+type fileMeta struct {
+	name  string
+	size  int64
+	su    int64 // stripe unit
+	group []int // indices into FileSystem.servers
+
+	sharedOff  int64      // the shared file pointer
+	token      *sim.Mutex // pointer token for M_UNIX / M_LOG
+	recordSize int64      // fixed by the first M_RECORD operation
+	opens      int
+}
+
+func (m *fileMeta) localName() string { return "pfs:" + m.name }
+
+// FileSystem is a mounted PFS: a stripe group of I/O nodes plus striping
+// attributes.
+type FileSystem struct {
+	k       *sim.Kernel
+	m       *mesh.Mesh
+	servers []*ionode.Server
+	cfg     Config
+	files   map[string]*fileMeta
+	dirs    map[string]bool // namespace directories; "/" always exists
+	created int             // files created; drives stripe-base rotation
+	tr      *trace.Log      // optional event timeline
+
+	// Measurements.
+	StripeRequests int64 // per-I/O-node requests issued (after declustering)
+}
+
+// Mount creates a PFS over the given I/O node servers.
+func Mount(k *sim.Kernel, m *mesh.Mesh, servers []*ionode.Server, cfg Config) *FileSystem {
+	if len(servers) == 0 {
+		panic("pfs: mount needs at least one I/O node")
+	}
+	if cfg.StripeUnit <= 0 {
+		panic("pfs: stripe unit must be positive")
+	}
+	return &FileSystem{
+		k:       k,
+		m:       m,
+		servers: servers,
+		cfg:     cfg,
+		files:   make(map[string]*fileMeta),
+		dirs:    map[string]bool{"/": true},
+	}
+}
+
+// Config returns the mount configuration.
+func (fsys *FileSystem) Config() Config { return fsys.cfg }
+
+// SetTrace attaches (or with nil detaches) an event timeline covering
+// read calls and stripe traffic on this mount.
+func (fsys *FileSystem) SetTrace(l *trace.Log) { fsys.tr = l }
+
+// Trace returns the attached timeline, if any.
+func (fsys *FileSystem) Trace() *trace.Log { return fsys.tr }
+
+// emit records a trace event when tracing is enabled.
+func (fsys *FileSystem) emit(kind trace.Kind, node int, file string, off, n int64) {
+	if fsys.tr != nil {
+		fsys.tr.Add(trace.Event{T: fsys.k.Now(), Kind: kind, Node: node, File: file, Off: off, N: n})
+	}
+}
+
+// Servers returns the mount's I/O node servers.
+func (fsys *FileSystem) Servers() []*ionode.Server { return fsys.servers }
+
+// Create allocates a PFS file of size bytes with the mount's default
+// stripe attributes (unit size from Config, group = all I/O nodes).
+func (fsys *FileSystem) Create(name string, size int64) error {
+	group := make([]int, len(fsys.servers))
+	for i := range group {
+		group[i] = i
+	}
+	return fsys.CreateStriped(name, size, fsys.cfg.StripeUnit, group)
+}
+
+// CreateStriped allocates a PFS file with explicit stripe attributes:
+// unit size su and a stripe group given as indices into the mount's
+// server list. This is how the paper's stripe-unit and stripe-group
+// experiments vary layout per file.
+func (fsys *FileSystem) CreateStriped(name string, size, su int64, group []int) error {
+	name = clean(name)
+	if _, ok := fsys.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if fsys.dirs[name] {
+		return fmt.Errorf("%w: %s is a directory", ErrExists, name)
+	}
+	if parent := path.Dir(name); !fsys.dirs[parent] {
+		return fmt.Errorf("%w: %s", ErrNotExist, parent)
+	}
+	if size <= 0 {
+		return fmt.Errorf("pfs: file size must be positive, got %d", size)
+	}
+	if su <= 0 {
+		return fmt.Errorf("pfs: stripe unit must be positive, got %d", su)
+	}
+	if len(group) == 0 {
+		return fmt.Errorf("pfs: empty stripe group")
+	}
+	for _, s := range group {
+		if s < 0 || s >= len(fsys.servers) {
+			return fmt.Errorf("pfs: stripe group member %d outside %d servers", s, len(fsys.servers))
+		}
+	}
+	// Rotate the stripe base: like the real PFS, successive files start
+	// their first stripe unit on successive group members, spreading
+	// concurrently-read files across the I/O nodes.
+	rot := fsys.created % len(group)
+	fsys.created++
+	rotated := append(append([]int(nil), group[rot:]...), group[:rot]...)
+	meta := &fileMeta{
+		name:  name,
+		size:  size,
+		su:    su,
+		group: rotated,
+		token: sim.NewMutex(fsys.k),
+	}
+	// Create the per-I/O-node stripe files.
+	g := int64(len(rotated))
+	units := (size + su - 1) / su
+	lastLen := size - (units-1)*su
+	for j := int64(0); j < g; j++ {
+		cnt := (units - j + g - 1) / g // units assigned to group member j
+		if cnt <= 0 {
+			continue
+		}
+		local := cnt * su
+		if (units-1)%g == j {
+			local = (cnt-1)*su + lastLen
+		}
+		srv := fsys.servers[rotated[j]]
+		if err := srv.FS().Create(meta.localName(), local); err != nil {
+			return fmt.Errorf("pfs: creating stripe on I/O node %d: %w", rotated[j], err)
+		}
+	}
+	fsys.files[name] = meta
+	return nil
+}
+
+// Size reports a file's length.
+func (fsys *FileSystem) Size(name string) (int64, error) {
+	meta, ok := fsys.files[clean(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return meta.size, nil
+}
+
+// Open opens a PFS file from compute node node in the given mode.
+// Collective modes (M_SYNC, M_RECORD, M_GLOBAL) require an OpenGroup
+// shared by all participating nodes; the group assigns ranks in open
+// order. Non-collective modes accept a nil group.
+func (fsys *FileSystem) Open(name string, node int, mode Mode, group *OpenGroup) (*File, error) {
+	meta, ok := fsys.files[clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	if !mode.Valid() {
+		return nil, fmt.Errorf("pfs: invalid mode %d", int(mode))
+	}
+	if mode.Collective() && group == nil {
+		return nil, fmt.Errorf("%w (%v)", ErrNeedGroup, mode)
+	}
+	f := &File{fsys: fsys, meta: meta, node: node, mode: mode, group: group}
+	if group != nil {
+		f.rank = group.join(f)
+	}
+	meta.opens++
+	return f, nil
+}
+
+// piece is one I/O node's share of a declustered request.
+type piece struct {
+	server   int // index into the file's stripe group
+	localOff int64
+	n        int64
+}
+
+// decluster splits the global byte range [off, off+n) of a file striped
+// with unit su over g group members into per-member pieces, merging the
+// pieces each member receives into contiguous local runs (for a
+// contiguous global range each member's share is one contiguous local
+// range).
+func decluster(off, n, su int64, g int) []piece {
+	var out []piece
+	end := off + n
+	for cur := off; cur < end; {
+		u := cur / su
+		within := cur % su
+		take := su - within
+		if rem := end - cur; rem < take {
+			take = rem
+		}
+		srv := int(u % int64(g))
+		local := (u/int64(g))*su + within
+		// Merge with this member's most recent piece when locally
+		// contiguous (consecutive units land g units apart globally but
+		// adjacent locally).
+		merged := false
+		for i := len(out) - 1; i >= 0; i-- {
+			if out[i].server == srv {
+				if out[i].localOff+out[i].n == local {
+					out[i].n += take
+					merged = true
+				}
+				break
+			}
+		}
+		if !merged {
+			out = append(out, piece{server: srv, localOff: local, n: take})
+		}
+		cur += take
+	}
+	return out
+}
+
+// stripeIO declusters [off, off+n) and issues the per-I/O-node requests
+// over the mesh, returning a signal that fires when every piece has been
+// served and delivered back to (or acknowledged for) compute node node.
+func (fsys *FileSystem) stripeIO(node int, meta *fileMeta, off, n int64, write bool) *sim.Signal {
+	done := sim.NewSignal(fsys.k)
+	pieces := decluster(off, n, meta.su, len(meta.group))
+	fsys.StripeRequests += int64(len(pieces))
+	remaining := len(pieces)
+	var firstErr error
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done.Fire(firstErr)
+		}
+	}
+	for _, pc := range pieces {
+		pc := pc
+		srv := fsys.servers[meta.group[pc.server]]
+		reqBytes := fsys.cfg.RequestBytes
+		if write {
+			reqBytes += pc.n // write data travels with the request
+		}
+		fsys.emit(trace.StripeSend, srv.Node(), meta.name, pc.localOff, pc.n)
+		done := func(err error) {
+			fsys.emit(trace.StripeReply, srv.Node(), meta.name, pc.localOff, pc.n)
+			finishOne(err)
+		}
+		fsys.m.Send(node, srv.Node(), reqBytes, func() {
+			if write {
+				srv.Write(node, meta.localName(), pc.localOff, pc.n, done)
+			} else {
+				srv.Read(node, meta.localName(), pc.localOff, pc.n, fsys.cfg.FastPath, done)
+			}
+		})
+	}
+	return done
+}

@@ -1,0 +1,88 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+func TestAdaptiveThrottlesAtZeroDelay(t *testing.T) {
+	pcfg := prefetch.DefaultConfig()
+	pcfg.Adaptive = true
+	elapsed, pf, f := seqRun(t, smallMachine(), 2<<20, 64<<10, 0, &pcfg)
+	if pf.Throttled == 0 {
+		t.Fatal("adaptive policy never throttled on back-to-back reads")
+	}
+	if f.BytesRead != 2<<20 {
+		t.Fatalf("throttling changed bytes read: %d", f.BytesRead)
+	}
+	// Throttled prefetching must track the plain run closely (within 3%).
+	plain, _, _ := seqRun(t, smallMachine(), 2<<20, 64<<10, 0, nil)
+	if ratio := elapsed.Seconds() / plain.Seconds(); ratio > 1.03 {
+		t.Fatalf("adaptive run %.3fx of plain at zero delay, want ≤ 1.03x", ratio)
+	}
+}
+
+func TestAdaptiveKeepsOverlapGains(t *testing.T) {
+	delay := 150 * sim.Millisecond
+	pcfg := prefetch.DefaultConfig()
+	pcfg.Adaptive = true
+	adaptive, pf, _ := seqRun(t, smallMachine(), 2<<20, 64<<10, delay, &pcfg)
+	plain, _, _ := seqRun(t, smallMachine(), 2<<20, 64<<10, delay, nil)
+	if adaptive >= plain {
+		t.Fatalf("adaptive (%v) lost the overlap gain vs plain (%v)", adaptive, plain)
+	}
+	if pf.HitRate() < 0.8 {
+		t.Fatalf("adaptive hit rate %.2f with a generous delay", pf.HitRate())
+	}
+	if pf.Throttled > 2 {
+		t.Fatalf("adaptive throttled %d times despite a generous delay", pf.Throttled)
+	}
+}
+
+func TestAdaptiveAdaptsToPhaseChange(t *testing.T) {
+	// A program that computes for a while, then goes I/O-bound: the
+	// policy should prefetch during the first phase and throttle in the
+	// second.
+	m := machine.Build(smallMachine())
+	if err := m.FS.Create("f", 2<<21); err != nil {
+		t.Fatal(err)
+	}
+	pcfg := prefetch.DefaultConfig()
+	pcfg.Adaptive = true
+	pf := prefetch.New(m.K, pcfg)
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		const rec = 64 << 10
+		for i := 0; i < 16; i++ { // balanced phase
+			if _, err := f.Read(p, rec); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(100 * sim.Millisecond)
+		}
+		for i := 0; i < 16; i++ { // I/O-bound phase
+			if _, err := f.Read(p, rec); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Hits+pf.HitsInWait < 12 {
+		t.Fatalf("balanced phase earned only %d hits", pf.Hits+pf.HitsInWait)
+	}
+	if pf.Throttled < 8 {
+		t.Fatalf("I/O-bound phase throttled only %d times", pf.Throttled)
+	}
+}

@@ -1,0 +1,59 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// TestFailedPrefetchFallsBack arms fault injection exactly while a
+// prefetch is in flight: the speculative read fails, but the user read it
+// was meant to serve must succeed via the direct Fast Path.
+func TestFailedPrefetchFallsBack(t *testing.T) {
+	mcfg := smallMachine()
+	m := machine.Build(mcfg)
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	setFaults := func(rate float64) {
+		for _, a := range m.Arrays {
+			for i, d := range a.Members() {
+				d.InjectFaults(rate, int64(i))
+			}
+		}
+	}
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Errorf("first read: %v", err)
+			return
+		}
+		// The prefetch for the second record is now queued; make every
+		// disk request fail while it runs, then heal the disks.
+		setFaults(1)
+		p.Sleep(sim.Second)
+		setFaults(0)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Errorf("read after failed prefetch: %v", err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", pf.Fallbacks)
+	}
+	// The fallback consumed the buffer; it must not count as a hit.
+	if pf.Hits != 0 {
+		t.Fatalf("Hits = %d; a failed prefetch is not a hit", pf.Hits)
+	}
+}

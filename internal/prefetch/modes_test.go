@@ -1,0 +1,151 @@
+package prefetch_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// collectiveRun drives parties nodes through a shared file in a
+// collective mode with a compute delay, prefetching enabled.
+func collectiveRun(t *testing.T, mode pfs.Mode, parties int, fileSize, req int64,
+	delay sim.Time) (*prefetch.Prefetcher, int64) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = parties
+	cfg.IONodes = parties
+	cfg.UFS.Fragmentation = 0
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	group := pfs.NewOpenGroup(m.K, parties)
+	var total int64
+	for i := 0; i < parties; i++ {
+		node := i
+		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			f, err := m.FS.Open("f", node, mode, group)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer f.Close()
+			pf.Attach(f)
+			for {
+				n, err := f.Read(p, req)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += n
+				p.Sleep(delay)
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pf, total
+}
+
+func TestSyncModePrefetchHits(t *testing.T) {
+	// The round-total heuristic: uniform sizes round after round make
+	// every prediction after the first land.
+	pf, total := collectiveRun(t, pfs.MSync, 4, 4<<20, 64<<10, 80*sim.Millisecond)
+	if total != 4<<20 {
+		t.Fatalf("read %d, want full file", total)
+	}
+	if pf.HitRate() < 0.8 {
+		t.Fatalf("M_SYNC hit rate %.2f, want ≥ 0.8", pf.HitRate())
+	}
+}
+
+func TestGlobalModePrefetchAtRoot(t *testing.T) {
+	pf, total := collectiveRun(t, pfs.MGlobal, 4, 1<<20, 64<<10, 80*sim.Millisecond)
+	// Every party sees the whole file.
+	if total != 4<<20 {
+		t.Fatalf("delivered %d, want 4x file size", total)
+	}
+	// Only the broadcast root performs I/O, so only it prefetches: 16
+	// records, first misses, 15 hit.
+	if pf.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (root's first record)", pf.Misses)
+	}
+	if pf.Hits+pf.HitsInWait != 15 {
+		t.Fatalf("hits = %d, want 15", pf.Hits+pf.HitsInWait)
+	}
+}
+
+func TestSharedPointerModesStayIdle(t *testing.T) {
+	for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MLog} {
+		mcfg := smallMachine()
+		m := machine.Build(mcfg)
+		if err := m.FS.Create("f", 512<<10); err != nil {
+			t.Fatal(err)
+		}
+		pf := prefetch.New(m.K, prefetch.DefaultConfig())
+		m.K.Go("reader", func(p *sim.Proc) {
+			f, err := m.FS.Open("f", 0, mode, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pf.Attach(f)
+			for {
+				if _, err := f.Read(p, 64<<10); err == io.EOF {
+					return
+				} else if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		if err := m.K.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if pf.Issued != 0 {
+			t.Fatalf("%v issued %d prefetches; unordered shared pointer has no prediction", mode, pf.Issued)
+		}
+	}
+}
+
+func TestSyncPredictionNeedsARound(t *testing.T) {
+	// Before any collective round completes there is no round total, so
+	// the first read must not predict from stale state.
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 2
+	cfg.IONodes = 2
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	group := pfs.NewOpenGroup(m.K, 2)
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	for i := 0; i < 2; i++ {
+		node := i
+		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			f, _ := m.FS.Open("f", node, pfs.MSync, group)
+			pf.Attach(f)
+			if _, err := f.Read(p, 64<<10); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One round of two 64 KB reads: each node can predict its next-round
+	// region from the just-computed total.
+	if pf.Issued != 2 {
+		t.Fatalf("Issued = %d, want 2 (one per node after the round)", pf.Issued)
+	}
+}

@@ -1,0 +1,155 @@
+package prefetch
+
+import "repro/internal/pfs"
+
+// Span is one predicted future read.
+type Span struct {
+	Off, N int64
+}
+
+// Predictor guesses where a file's next reads will land. The prototype's
+// policy (mode-derived next record) is the default; the alternatives
+// below follow the practical predictors of Kotz & Ellis (the paper's
+// references [4] and [5]), which infer the pattern from the observed
+// access stream instead of trusting the I/O mode.
+type Predictor interface {
+	// Observe is called after each user read completes.
+	Observe(f *pfs.File, off, n int64)
+	// Predict returns up to depth spans expected to be read next, given
+	// the read at [off, off+n) just completed. Fewer (or none) is fine.
+	Predict(f *pfs.File, off, n int64, depth int) []Span
+	// Forget drops any per-file state (called at close).
+	Forget(f *pfs.File)
+}
+
+// ModePredictor is the prototype's policy: derive the next record from
+// the I/O mode, rank and party count. Exact for the coordinated modes,
+// blind for access the mode does not describe.
+type ModePredictor struct{}
+
+// Observe is a no-op: the mode carries all the state.
+func (ModePredictor) Observe(*pfs.File, int64, int64) {}
+
+// Predict chains NextRecordOffset depth times.
+func (ModePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
+	var out []Span
+	next := f.NextRecordOffset(off, n)
+	for d := 0; d < depth; d++ {
+		if next < 0 || next >= f.Size() {
+			break
+		}
+		take := n
+		if next+take > f.Size() {
+			take = f.Size() - next
+		}
+		out = append(out, Span{Off: next, N: take})
+		next = f.NextRecordOffset(next, take)
+	}
+	return out
+}
+
+// Forget is a no-op.
+func (ModePredictor) Forget(*pfs.File) {}
+
+// SequentialPredictor always guesses the bytes immediately following the
+// current read — Kotz & Ellis's one-block lookahead generalized to
+// request-sized blocks.
+type SequentialPredictor struct{}
+
+// Observe is a no-op.
+func (SequentialPredictor) Observe(*pfs.File, int64, int64) {}
+
+// Predict returns the next depth request-sized extents.
+func (SequentialPredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
+	var out []Span
+	next := off + n
+	for d := 0; d < depth; d++ {
+		if next >= f.Size() {
+			break
+		}
+		take := n
+		if next+take > f.Size() {
+			take = f.Size() - next
+		}
+		out = append(out, Span{Off: next, N: take})
+		next += take
+	}
+	return out
+}
+
+// Forget is a no-op.
+func (SequentialPredictor) Forget(*pfs.File) {}
+
+// StridePredictor infers a constant stride from the last few reads (the
+// "portion recognition" idea): after confirm consecutive equal strides it
+// predicts the arithmetic sequence, adapting when the pattern breaks.
+// Detects sequential access (stride n), strided column walks, and
+// application-managed interleaving alike.
+type StridePredictor struct {
+	// Confirm is how many identical strides must be seen before
+	// predicting; 2 by default.
+	Confirm int
+
+	state map[*pfs.File]*strideState
+}
+
+type strideState struct {
+	lastOff  int64
+	lastN    int64
+	stride   int64
+	seen     int // identical strides observed in a row
+	haveLast bool
+}
+
+// NewStridePredictor returns a detector requiring confirm identical
+// strides (minimum 1).
+func NewStridePredictor(confirm int) *StridePredictor {
+	if confirm < 1 {
+		confirm = 2
+	}
+	return &StridePredictor{Confirm: confirm, state: make(map[*pfs.File]*strideState)}
+}
+
+// Observe folds one read into the stride estimate.
+func (sp *StridePredictor) Observe(f *pfs.File, off, n int64) {
+	st, ok := sp.state[f]
+	if !ok {
+		st = &strideState{}
+		sp.state[f] = st
+	}
+	if st.haveLast {
+		s := off - st.lastOff
+		if s == st.stride && s != 0 {
+			st.seen++
+		} else {
+			st.stride = s
+			st.seen = 1
+		}
+	}
+	st.lastOff, st.lastN, st.haveLast = off, n, true
+}
+
+// Predict extrapolates the confirmed stride.
+func (sp *StridePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
+	st, ok := sp.state[f]
+	if !ok || st.seen < sp.Confirm || st.stride == 0 {
+		return nil
+	}
+	var out []Span
+	next := off + st.stride
+	for d := 0; d < depth; d++ {
+		if next < 0 || next >= f.Size() {
+			break
+		}
+		take := n
+		if next+take > f.Size() {
+			take = f.Size() - next
+		}
+		out = append(out, Span{Off: next, N: take})
+		next += st.stride
+	}
+	return out
+}
+
+// Forget drops the file's history.
+func (sp *StridePredictor) Forget(f *pfs.File) { delete(sp.state, f) }

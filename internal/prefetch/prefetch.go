@@ -1,0 +1,294 @@
+// Package prefetch implements the paper's prefetching prototype: the
+// client-side modification to the PFS that issues an asynchronous
+// read-ahead after every user read.
+//
+// Mechanics, following Section 3 of the paper:
+//
+//   - prefetches ride the existing asynchronous-read machinery (the ART
+//     and its FIFO active list) rather than a new I/O path;
+//   - a prefetch is issued by the user thread after each read, for the
+//     block the same thread is anticipated to read next (one block ahead
+//     in the prototype; Depth generalizes this for ablation);
+//   - completed prefetches land in a per-file prefetch buffer list in
+//     compute-node memory, tagged with file offset and size;
+//   - a later read that matches a buffer is a hit: it pays a memory copy
+//     from the prefetch buffer to the user buffer (Fast Path would have
+//     landed the data in the user buffer directly — this copy is the
+//     overhead the paper measures at zero compute delay);
+//   - a read that matches a still-in-flight prefetch waits for it: the
+//     paper's "even if most of the read is already done, the benefits can
+//     be tremendous";
+//   - the file pointer is never moved by prefetching, and all buffers are
+//     freed when the file is closed.
+package prefetch
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config tunes the prototype. The paper's configuration is the default;
+// the extra knobs exist for the ablation benchmarks.
+type Config struct {
+	Depth         int        // records prefetched ahead (paper: 1)
+	IssueOverhead sim.Time   // user-thread CPU to set up one prefetch request
+	MemBandwidth  float64    // compute-node copy bandwidth for the hit path
+	MaxBuffers    int        // retained + in-flight buffers per open file
+	FreeCopy      bool       // ablation: make the hit-path copy free
+	Trace         *trace.Log // optional timeline of prefetch decisions
+	// Predictor chooses what to read ahead; nil selects the prototype's
+	// mode-derived next-record policy (ModePredictor).
+	Predictor Predictor
+	// Adaptive throttles the prototype: read-ahead is issued only when
+	// the application's observed compute window (the gap between its
+	// reads) is long enough for a prefetch to make headway. Removes the
+	// paper's zero-overlap overhead at the cost of the first few gaps'
+	// worth of training.
+	Adaptive bool
+}
+
+// DefaultConfig returns the paper's prototype parameters on i860-class
+// hardware.
+func DefaultConfig() Config {
+	return Config{
+		Depth:         1,
+		IssueOverhead: 250 * sim.Microsecond,
+		MemBandwidth:  45e6,
+		MaxBuffers:    16,
+	}
+}
+
+// entry is one prefetch buffer structure on a file's prefetch list.
+type entry struct {
+	off, n int64
+	req    *pfs.Async
+}
+
+// Prefetcher implements pfs.PrefetchService. One Prefetcher can serve many
+// open files; state is per open instance, as in the prototype (the list
+// hangs off the file's internal structure).
+type Prefetcher struct {
+	k     *sim.Kernel
+	cfg   Config
+	lists map[*pfs.File][]*entry
+	adapt map[*pfs.File]*adaptState
+
+	// Measurements.
+	Issued     int64           // prefetch requests queued on the ART
+	Hits       int64           // reads served entirely from a completed buffer
+	HitsInWait int64           // reads that waited on an in-flight prefetch
+	Misses     int64           // reads with no matching buffer
+	Wasted     int64           // buffers freed unused at close
+	Skipped    int64           // prefetches suppressed by the buffer cap
+	Fallbacks  int64           // failed prefetches retried as direct reads
+	Throttled  int64           // issues suppressed by the adaptive policy
+	WaitTime   stats.Histogram // time spent waiting on in-flight prefetches, seconds
+}
+
+// adaptState is the adaptive policy's per-file picture of the
+// application: exponential averages of the compute gap between reads and
+// of the direct read service time.
+type adaptState struct {
+	lastEnd     sim.Time
+	gapEWMA     float64 // seconds
+	serviceEWMA float64 // seconds
+	samples     int
+}
+
+const adaptAlpha = 0.3 // EWMA weight for new observations
+
+var _ pfs.PrefetchService = (*Prefetcher)(nil)
+
+// New returns a Prefetcher on kernel k. Depth and MaxBuffers must be
+// positive; MemBandwidth must be positive unless FreeCopy is set.
+func New(k *sim.Kernel, cfg Config) *Prefetcher {
+	if cfg.Depth <= 0 {
+		panic("prefetch: depth must be positive")
+	}
+	if cfg.MaxBuffers <= 0 {
+		panic("prefetch: buffer cap must be positive")
+	}
+	if !cfg.FreeCopy && cfg.MemBandwidth <= 0 {
+		panic("prefetch: memory bandwidth must be positive")
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = ModePredictor{}
+	}
+	return &Prefetcher{
+		k:     k,
+		cfg:   cfg,
+		lists: make(map[*pfs.File][]*entry),
+		adapt: make(map[*pfs.File]*adaptState),
+	}
+}
+
+// Attach installs the prefetcher on an open file. Shorthand for
+// f.SetPrefetcher(pf).
+func (pf *Prefetcher) Attach(f *pfs.File) { f.SetPrefetcher(pf) }
+
+// ServeRead satisfies the user read at [off, off+n) per the prototype's
+// policy, then issues read-ahead for the anticipated next record(s).
+func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
+	var st *adaptState
+	if pf.cfg.Adaptive {
+		var ok bool
+		if st, ok = pf.adapt[f]; !ok {
+			st = &adaptState{}
+			pf.adapt[f] = st
+		}
+		if st.lastEnd > 0 {
+			st.gapEWMA = ewma(st.gapEWMA, (p.Now() - st.lastEnd).Seconds(), st.samples)
+			st.samples++
+		}
+	}
+	var err error
+	if e, idx := pf.lookup(f, off, n); e != nil {
+		waited := false
+		if !e.req.Done.Fired() {
+			// Miss-when-presented but mostly done: wait out the remainder.
+			waited = true
+			waitFrom := p.Now()
+			e.req.Done.Wait(p)
+			pf.WaitTime.ObserveTime(p.Now() - waitFrom)
+		}
+		err = e.req.Done.Err()
+		pf.remove(f, idx)
+		switch {
+		case err != nil:
+			// The prefetch failed at the disk; the user read must not
+			// inherit a speculative request's error. Fall back to the
+			// normal Fast Path read.
+			pf.Fallbacks++
+			err = f.BlockingIO(p, off, n)
+		case waited:
+			pf.HitsInWait++
+			pf.emit(p, trace.PrefetchWait, f, off, n)
+		default:
+			pf.Hits++
+			pf.emit(p, trace.PrefetchHit, f, off, n)
+		}
+		if err == nil && !pf.cfg.FreeCopy && e.req.Done.Err() == nil {
+			// Prefetch buffer -> user buffer copy; Fast Path avoids this.
+			p.Sleep(sim.Time(float64(n) / pf.cfg.MemBandwidth * float64(sim.Second)))
+		}
+	} else {
+		pf.Misses++
+		pf.emit(p, trace.PrefetchMiss, f, off, n)
+		ioStart := p.Now()
+		err = f.BlockingIO(p, off, n)
+		if st != nil && err == nil {
+			st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.samples)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	pf.cfg.Predictor.Observe(f, off, n)
+	if st == nil || st.allowIssue() {
+		pf.issue(p, f, off, n)
+	} else {
+		pf.Throttled++
+	}
+	if st != nil {
+		st.lastEnd = p.Now()
+	}
+	return nil
+}
+
+// allowIssue decides whether read-ahead is worth it: optimistic until the
+// state has settled, then only when the compute gap gives the prefetch a
+// real head start.
+func (st *adaptState) allowIssue() bool {
+	if st.samples < 2 || st.serviceEWMA == 0 {
+		return true
+	}
+	return st.gapEWMA >= 0.25*st.serviceEWMA
+}
+
+// ewma folds a new observation into an exponential average (the first
+// observation seeds it).
+func ewma(cur, obs float64, samples int) float64 {
+	if samples == 0 || cur == 0 {
+		return obs
+	}
+	return (1-adaptAlpha)*cur + adaptAlpha*obs
+}
+
+// OnClose frees the file's prefetch buffers, counting unconsumed ones.
+func (pf *Prefetcher) OnClose(f *pfs.File) {
+	pf.Wasted += int64(len(pf.lists[f]))
+	delete(pf.lists, f)
+	delete(pf.adapt, f)
+	pf.cfg.Predictor.Forget(f)
+}
+
+// lookup finds a buffer whose region covers [off, off+n) starting exactly
+// at off, the match rule of the prototype (buffers are tagged with the
+// PFS file offset and size).
+func (pf *Prefetcher) lookup(f *pfs.File, off, n int64) (*entry, int) {
+	for i, e := range pf.lists[f] {
+		if e.off == off && e.n >= n {
+			return e, i
+		}
+	}
+	return nil, -1
+}
+
+func (pf *Prefetcher) remove(f *pfs.File, idx int) {
+	l := pf.lists[f]
+	pf.lists[f] = append(l[:idx], l[idx+1:]...)
+}
+
+// issue queues read-ahead for the Depth spans the predictor expects this
+// node to read next after [off, off+n). With the default ModePredictor
+// the prediction is derived from the read request itself (offset, size,
+// mode, rank), as in the prototype.
+func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
+	for _, span := range pf.cfg.Predictor.Predict(f, off, n, pf.cfg.Depth) {
+		if len(pf.lists[f]) >= pf.cfg.MaxBuffers {
+			pf.Skipped++
+			return
+		}
+		if pf.covered(f, span.Off) {
+			continue
+		}
+		// The user thread pays the setup cost of posting the
+		// asynchronous request.
+		p.Sleep(pf.cfg.IssueOverhead)
+		req := f.IReadAt(span.Off, span.N)
+		pf.lists[f] = append(pf.lists[f], &entry{off: span.Off, n: span.N, req: req})
+		pf.Issued++
+		pf.emit(p, trace.PrefetchIssue, f, span.Off, span.N)
+	}
+}
+
+// emit records a prefetch decision on the configured timeline.
+func (pf *Prefetcher) emit(p *sim.Proc, kind trace.Kind, f *pfs.File, off, n int64) {
+	if pf.cfg.Trace != nil {
+		pf.cfg.Trace.Add(trace.Event{T: p.Now(), Kind: kind, Node: f.Node(), File: f.Name(), Off: off, N: n})
+	}
+}
+
+// covered reports whether some buffer already starts at off.
+func (pf *Prefetcher) covered(f *pfs.File, off int64) bool {
+	for _, e := range pf.lists[f] {
+		if e.off == off {
+			return true
+		}
+	}
+	return false
+}
+
+// Outstanding reports the number of buffers currently held for f.
+func (pf *Prefetcher) Outstanding(f *pfs.File) int { return len(pf.lists[f]) }
+
+// HitRate reports hits (including waited hits) over all served reads.
+func (pf *Prefetcher) HitRate() float64 {
+	total := pf.Hits + pf.HitsInWait + pf.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(pf.Hits+pf.HitsInWait) / float64(total)
+}

@@ -1,0 +1,331 @@
+package prefetch_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+)
+
+// smallMachine returns a 1-compute / 4-I/O-node machine config.
+func smallMachine() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	return cfg
+}
+
+// seqRun drives a single M_ASYNC reader through the whole file with a
+// compute delay between reads, optionally under a prefetcher.
+func seqRun(t *testing.T, mcfg machine.Config, fileSize, req int64, delay sim.Time,
+	pcfg *prefetch.Config) (elapsed sim.Time, pf *prefetch.Prefetcher, f *pfs.File) {
+	t.Helper()
+	m := machine.Build(mcfg)
+	if err := m.FS.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	if pcfg != nil {
+		pf = prefetch.New(m.K, *pcfg)
+	}
+	m.K.Go("reader", func(p *sim.Proc) {
+		var err error
+		f, err = m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pf != nil {
+			pf.Attach(f)
+		}
+		first := true
+		for {
+			if !first && delay > 0 {
+				p.Sleep(delay)
+			}
+			first = false
+			if _, err := f.Read(p, req); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m.K.Now(), pf, f
+}
+
+func TestSequentialHits(t *testing.T) {
+	pcfg := prefetch.DefaultConfig()
+	// Generous delay: every prefetch completes before the next read.
+	_, pf, f := seqRun(t, smallMachine(), 1<<20, 64<<10, 200*sim.Millisecond, &pcfg)
+	if f.BytesRead != 1<<20 {
+		t.Fatalf("read %d bytes, want full file", f.BytesRead)
+	}
+	// 16 reads: the first must miss, the remaining 15 hit completed
+	// buffers.
+	if pf.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (first read only)", pf.Misses)
+	}
+	if pf.Hits != 15 {
+		t.Fatalf("Hits = %d, want 15", pf.Hits)
+	}
+	if pf.HitsInWait != 0 {
+		t.Fatalf("HitsInWait = %d, want 0 with a generous delay", pf.HitsInWait)
+	}
+	if got := pf.HitRate(); got < 0.93 || got > 0.94 {
+		t.Fatalf("HitRate = %v, want 15/16", got)
+	}
+}
+
+func TestNoDelayWaitsOnInFlight(t *testing.T) {
+	pcfg := prefetch.DefaultConfig()
+	_, pf, _ := seqRun(t, smallMachine(), 1<<20, 64<<10, 0, &pcfg)
+	if pf.HitsInWait == 0 {
+		t.Fatal("back-to-back reads never caught a prefetch in flight")
+	}
+	if pf.WaitTime.N() != int(pf.HitsInWait) {
+		t.Fatalf("WaitTime samples %d != HitsInWait %d", pf.WaitTime.N(), pf.HitsInWait)
+	}
+	if pf.WaitTime.Mean() <= 0 {
+		t.Fatal("waiting on an in-flight prefetch took no time")
+	}
+}
+
+func TestOverlapShrinksReadLatency(t *testing.T) {
+	const fileSize, req = 2 << 20, 64 << 10
+	delay := 150 * sim.Millisecond
+	_, _, plain := seqRun(t, smallMachine(), fileSize, req, delay, nil)
+	pcfg := prefetch.DefaultConfig()
+	_, _, fetched := seqRun(t, smallMachine(), fileSize, req, delay, &pcfg)
+	// With full overlap a hit read costs client call + copy, far below a
+	// disk read.
+	if fetched.ReadTime.Quantile(0.5) >= plain.ReadTime.Quantile(0.5)/2 {
+		t.Fatalf("median read with prefetch %v, without %v: want at least 2x better",
+			fetched.ReadTime.Quantile(0.5), plain.ReadTime.Quantile(0.5))
+	}
+}
+
+func TestOverlapImprovesElapsed(t *testing.T) {
+	const fileSize, req = 2 << 20, 64 << 10
+	delay := 150 * sim.Millisecond
+	without, _, _ := seqRun(t, smallMachine(), fileSize, req, delay, nil)
+	pcfg := prefetch.DefaultConfig()
+	with, _, _ := seqRun(t, smallMachine(), fileSize, req, delay, &pcfg)
+	if with >= without {
+		t.Fatalf("prefetch elapsed %v not below plain %v with full overlap", with, without)
+	}
+}
+
+func TestZeroDelayOverheadVisible(t *testing.T) {
+	// The paper's Table 1 result: with no computation to overlap,
+	// prefetching is at best comparable and slightly worse for small
+	// requests (buffer copy + issue overhead).
+	const fileSize, req = 2 << 20, 64 << 10
+	without, _, _ := seqRun(t, smallMachine(), fileSize, req, 0, nil)
+	pcfg := prefetch.DefaultConfig()
+	with, _, _ := seqRun(t, smallMachine(), fileSize, req, 0, &pcfg)
+	ratio := with.Seconds() / without.Seconds()
+	if ratio < 0.9 {
+		t.Fatalf("prefetch at zero delay %.3f of plain time: should not be a big win", ratio)
+	}
+	if ratio > 1.5 {
+		t.Fatalf("prefetch overhead ratio %.3f implausibly large", ratio)
+	}
+}
+
+func TestNoPredictionModesNeverIssue(t *testing.T) {
+	mcfg := smallMachine()
+	m := machine.Build(mcfg)
+	if err := m.FS.Create("f", 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MUnix, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		for {
+			if _, err := f.Read(p, 64<<10); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Issued != 0 {
+		t.Fatalf("M_UNIX issued %d prefetches; shared unordered pointer has no prediction", pf.Issued)
+	}
+	if pf.Hits+pf.HitsInWait != 0 {
+		t.Fatal("hits without prefetches")
+	}
+}
+
+func TestBuffersFreedAtClose(t *testing.T) {
+	mcfg := smallMachine()
+	m := machine.Build(mcfg)
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, _ := m.FS.Open("f", 0, pfs.MAsync, nil)
+		pf.Attach(f)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(sim.Second) // let the prefetch complete, then abandon it
+		if pf.Outstanding(f) != 1 {
+			t.Errorf("Outstanding = %d before close, want 1", pf.Outstanding(f))
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		if pf.Outstanding(f) != 0 {
+			t.Errorf("Outstanding = %d after close", pf.Outstanding(f))
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Wasted != 1 {
+		t.Fatalf("Wasted = %d, want 1 (unconsumed buffer freed at close)", pf.Wasted)
+	}
+}
+
+func TestDepthAndCap(t *testing.T) {
+	pcfg := prefetch.DefaultConfig()
+	pcfg.Depth = 8
+	pcfg.MaxBuffers = 2
+	_, pf, _ := seqRun(t, smallMachine(), 2<<20, 64<<10, 10*sim.Millisecond, &pcfg)
+	if pf.Skipped == 0 {
+		t.Fatal("depth 8 under a 2-buffer cap never skipped")
+	}
+	// Every record is still prefetched exactly once — the cap defers
+	// issues to later reads rather than dropping coverage.
+	if pf.Issued != 31 {
+		t.Fatalf("capped run issued %d, want 31 (records 2..32)", pf.Issued)
+	}
+	pcfg.MaxBuffers = 16
+	_, pfBig, _ := seqRun(t, smallMachine(), 2<<20, 64<<10, 10*sim.Millisecond, &pcfg)
+	if pfBig.Skipped != 0 {
+		t.Fatalf("16-buffer cap skipped %d issues with depth 8", pfBig.Skipped)
+	}
+}
+
+func TestNoPrefetchPastEOF(t *testing.T) {
+	pcfg := prefetch.DefaultConfig()
+	_, pf, _ := seqRun(t, smallMachine(), 256<<10, 64<<10, sim.Millisecond, &pcfg)
+	// 4 records: prefetches for records 2,3,4 = 3 issues; never past EOF.
+	if pf.Issued != 3 {
+		t.Fatalf("Issued = %d, want 3", pf.Issued)
+	}
+	if pf.Wasted != 0 {
+		t.Fatalf("Wasted = %d, want 0 for a clean sequential scan", pf.Wasted)
+	}
+}
+
+func TestFreeCopyAblation(t *testing.T) {
+	const fileSize, req = 2 << 20, 256 << 10
+	delay := 300 * sim.Millisecond
+	pcfg := prefetch.DefaultConfig()
+	withCopy, _, fc := seqRun(t, smallMachine(), fileSize, req, delay, &pcfg)
+	pcfg.FreeCopy = true
+	withoutCopy, _, ff := seqRun(t, smallMachine(), fileSize, req, delay, &pcfg)
+	if withoutCopy >= withCopy {
+		t.Fatalf("free-copy run %v not faster than copying run %v", withoutCopy, withCopy)
+	}
+	if fc.BytesRead != ff.BytesRead {
+		t.Fatal("ablation changed bytes read")
+	}
+}
+
+func TestCollectiveRecordPrefetch(t *testing.T) {
+	mcfg := machine.DefaultConfig()
+	mcfg.ComputeNodes = 4
+	mcfg.IONodes = 4
+	mcfg.UFS.Fragmentation = 0
+	m := machine.Build(mcfg)
+	const fileSize, req = 4 << 20, 64 << 10
+	if err := m.FS.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	group := pfs.NewOpenGroup(m.K, 4)
+	var total int64
+	for i := 0; i < 4; i++ {
+		node := i
+		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			f, err := m.FS.Open("f", node, pfs.MRecord, group)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pf.Attach(f)
+			defer f.Close()
+			for {
+				n, err := f.Read(p, req)
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += n
+				p.Sleep(100 * sim.Millisecond)
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != fileSize {
+		t.Fatalf("collective read %d bytes, want %d: prefetching broke coverage", total, fileSize)
+	}
+	if pf.HitRate() < 0.8 {
+		t.Fatalf("hit rate %.2f, want ≥ 0.8 for a record scan with overlap", pf.HitRate())
+	}
+	// Every node's first read misses; everything else should hit.
+	if pf.Misses != 4 {
+		t.Fatalf("Misses = %d, want 4 (one per node)", pf.Misses)
+	}
+}
+
+// Property: prefetching must never change WHAT is read — only when. For
+// random request sizes and delays, bytes read and coverage match the
+// plain run.
+func TestPrefetchPreservesSemantics(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := int64(1+rng.Intn(8)) * 64 << 10
+		nrec := int64(2 + rng.Intn(12))
+		fileSize := req * nrec
+		delay := sim.Time(rng.Intn(50)) * sim.Millisecond
+		_, _, plain := seqRun(t, smallMachine(), fileSize, req, delay, nil)
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Depth = 1 + rng.Intn(3)
+		_, _, fetched := seqRun(t, smallMachine(), fileSize, req, delay, &pcfg)
+		return plain.BytesRead == fetched.BytesRead &&
+			plain.ReadCalls == fetched.ReadCalls &&
+			plain.BytesRead == fileSize
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

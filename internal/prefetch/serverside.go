@@ -1,0 +1,74 @@
+package prefetch
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// ServerSide is the alternative prefetch placement: instead of pulling
+// the anticipated record all the way into compute-node memory (the
+// paper's prototype), it sends cache-warming hints so the I/O nodes
+// stage the data in their buffer caches. The user read still crosses the
+// mesh, but finds warm caches instead of cold disks. Requires a mount
+// with buffering enabled (pfs.Config.FastPath = false); under Fast Path
+// the hints are wasted work, since reads bypass the caches.
+type ServerSide struct {
+	cfg ServerSideConfig
+
+	// Measurements.
+	Hints int64 // hint batches issued (one per predicted record)
+	Reads int64 // user reads served
+}
+
+// ServerSideConfig tunes the hinting policy.
+type ServerSideConfig struct {
+	Depth         int      // records hinted ahead
+	IssueOverhead sim.Time // user-thread CPU per hint batch
+}
+
+// DefaultServerSideConfig hints one record ahead, like the prototype.
+func DefaultServerSideConfig() ServerSideConfig {
+	return ServerSideConfig{Depth: 1, IssueOverhead: 150 * sim.Microsecond}
+}
+
+var _ pfs.PrefetchService = (*ServerSide)(nil)
+
+// NewServerSide returns a server-side placement service.
+func NewServerSide(cfg ServerSideConfig) *ServerSide {
+	if cfg.Depth <= 0 {
+		panic("prefetch: server-side depth must be positive")
+	}
+	return &ServerSide{cfg: cfg}
+}
+
+// Attach installs the service on an open file.
+func (ss *ServerSide) Attach(f *pfs.File) { f.SetPrefetcher(ss) }
+
+// ServeRead performs the read normally (warm caches make it fast) and
+// hints the predicted next record(s).
+func (ss *ServerSide) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
+	ss.Reads++
+	if err := f.BlockingIO(p, off, n); err != nil {
+		return err
+	}
+	next := f.NextRecordOffset(off, n)
+	for d := 0; d < ss.cfg.Depth; d++ {
+		if next < 0 || next >= f.Size() {
+			return nil
+		}
+		take := n
+		if next+take > f.Size() {
+			take = f.Size() - next
+		}
+		p.Sleep(ss.cfg.IssueOverhead)
+		if err := f.HintAt(next, take); err != nil {
+			return err
+		}
+		ss.Hints++
+		next = f.NextRecordOffset(next, take)
+	}
+	return nil
+}
+
+// OnClose has nothing to free: the state lives in the I/O node caches.
+func (ss *ServerSide) OnClose(*pfs.File) {}

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler throughput: how many
+// events per second the kernel retires.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			k.After(1, fire)
+		}
+	}
+	b.ResetTimer()
+	k.After(1, fire)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHeapChurn exercises the event heap with a wide pending set.
+func BenchmarkHeapChurn(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < 1024; i++ {
+		i := i
+		var refire func()
+		count := 0
+		refire = func() {
+			count++
+			if count*1024 < b.N {
+				k.After(Time(1+i%7), refire)
+			}
+		}
+		k.After(Time(i), refire)
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures a full block/wake round trip through the
+// goroutine hand-off.
+func BenchmarkProcSwitch(b *testing.B) {
+	k := NewKernel()
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueHandoff measures producer/consumer throughput across two
+// processes.
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSemaphore measures contended acquire/release cycles.
+func BenchmarkSemaphore(b *testing.B) {
+	k := NewKernel()
+	sem := NewSemaphore(k, 2)
+	for g := 0; g < 4; g++ {
+		k.Go("worker", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				sem.Acquire(p, 1)
+				p.Sleep(1)
+				sem.Release(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+func TestDaemonDoesNotDeadlockRun(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	// A service loop that would wait forever.
+	k.GoDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	done := false
+	k.Go("client", func(p *Proc) {
+		q.Put(1)
+		p.Sleep(Millisecond)
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("daemon counted as deadlock: %v", err)
+	}
+	if !done {
+		t.Fatal("client never ran")
+	}
+}
+
+func TestWorkerBlockedIsStillDeadlock(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	k.GoDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	other := NewQueue[int](k)
+	k.Go("stuck-worker", func(p *Proc) {
+		other.Get(p) // nobody ever puts
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("blocked non-daemon next to a daemon not reported as deadlock")
+	}
+}
+
+func TestDaemonPanicStillReported(t *testing.T) {
+	k := NewKernel()
+	k.GoDaemon("bad", func(p *Proc) {
+		p.Sleep(Second)
+		panic("daemon crashed")
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("daemon panic swallowed")
+	}
+}
+
+func TestRunUntilLeavesDaemonsQuiet(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Second)
+			ticks++
+		}
+	})
+	if err := k.RunUntil(3 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (t, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation scheduler. It is not safe for
+// concurrent use from multiple OS threads; all concurrency in a simulation
+// is expressed through processes, which the kernel interleaves
+// deterministically one at a time.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // hand-off channel shared by all procs
+	live    int           // procs started and not yet finished
+	daemons int           // live procs marked as daemons (service loops)
+	failed  error         // first process panic, if any
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events waiting to run.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Live reports the number of processes that have been created and have not
+// yet returned. After Run, a nonzero value means some processes are blocked
+// forever (a modeling deadlock).
+func (k *Kernel) Live() int { return k.live }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until none remain, then returns the first process
+// failure (panic) if any occurred. Processes still blocked when the event
+// queue drains are reported as a deadlock error.
+func (k *Kernel) Run() error {
+	return k.RunUntil(Time(1)<<62 - 1)
+}
+
+// RunUntil executes events with time ≤ deadline. The clock stops at the
+// last executed event (or the deadline if nothing ran past it). Unlike Run,
+// a drained queue with live processes is not an error when the deadline
+// cut the run short.
+func (k *Kernel) RunUntil(deadline Time) error {
+	for len(k.events) > 0 {
+		e := k.events[0]
+		if e.t > deadline {
+			k.now = deadline
+			return k.failed
+		}
+		heap.Pop(&k.events)
+		k.now = e.t
+		e.fn()
+		if k.failed != nil {
+			return k.failed
+		}
+	}
+	if k.live > k.daemons && deadline >= Time(1)<<62-1 {
+		return fmt.Errorf("sim: deadlock: %d process(es) blocked with no pending events at %v",
+			k.live-k.daemons, k.now)
+	}
+	return k.failed
+}

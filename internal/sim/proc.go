@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine that the kernel runs with
+// strict hand-off, so at most one process (or event callback) executes at
+// any real instant. Blocking methods (Sleep, Signal.Wait, Queue.Get, ...)
+// must only be called from the process's own goroutine.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	daemon bool
+}
+
+// Go creates a process named name and schedules it to start at the current
+// simulated time. fn runs on its own goroutine under kernel hand-off; when
+// fn returns the process ends. A panic in fn aborts the whole simulation
+// and is reported by Run.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.start(name, false, fn)
+}
+
+// GoDaemon is Go for service loops that never return (device servers,
+// request threads). A simulation whose only remaining blocked processes
+// are daemons has simply gone quiet, not deadlocked, so Run does not
+// report it as an error.
+func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.start(name, true, fn)
+}
+
+func (k *Kernel) start(name string, daemon bool, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), daemon: daemon}
+	k.live++
+	if daemon {
+		k.daemons++
+	}
+	k.After(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil && k.failed == nil {
+					k.failed = fmt.Errorf("sim: process %q panicked at %v: %v\n%s",
+						p.name, k.now, r, debug.Stack())
+				}
+				k.live--
+				if p.daemon {
+					k.daemons--
+				}
+				k.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-k.yield // run the process until it blocks or finishes
+	})
+	return p
+}
+
+// Name returns the process's name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// block suspends the process, returning control to the kernel, until some
+// event calls wake.
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake resumes a blocked process and waits for it to block again or
+// finish. It must be called from kernel context (an event callback).
+func (k *Kernel) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// Sleep suspends the process for d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q sleeping negative duration %v", p.name, d))
+	}
+	k := p.k
+	k.After(d, func() { k.wake(p) })
+	p.block()
+}
+
+// Yield suspends the process until all other work scheduled at the current
+// instant has run.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,233 @@
+package sim
+
+// Signal is a one-shot completion event. Processes wait on it; once fired
+// (at most once), all current and future waiters proceed immediately.
+// A Signal carries an optional error so that asynchronous operations can
+// report failure to their waiters.
+type Signal struct {
+	k         *Kernel
+	fired     bool
+	firedAt   Time
+	err       error
+	waiters   []*Proc
+	callbacks []func(error)
+}
+
+// NewSignal returns an unfired signal on kernel k.
+func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the time the signal fired; meaningless before Fired.
+func (s *Signal) FiredAt() Time { return s.firedAt }
+
+// Err returns the error the signal fired with (nil for success or unfired).
+func (s *Signal) Err() error { return s.err }
+
+// Fire marks the signal complete with err and wakes all waiters at the
+// current instant. Firing twice panics: a completion happens once.
+func (s *Signal) Fire(err error) {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	s.firedAt = s.k.now
+	s.err = err
+	for _, p := range s.waiters {
+		p := p
+		s.k.After(0, func() { s.k.wake(p) })
+	}
+	s.waiters = nil
+	for _, fn := range s.callbacks {
+		fn := fn
+		s.k.After(0, func() { fn(err) })
+	}
+	s.callbacks = nil
+}
+
+// OnFire registers fn to run (in event context, at the firing instant)
+// when the signal fires; if it already fired, fn is scheduled immediately.
+func (s *Signal) OnFire(fn func(error)) {
+	if s.fired {
+		err := s.err
+		s.k.After(0, func() { fn(err) })
+		return
+	}
+	s.callbacks = append(s.callbacks, fn)
+}
+
+// Wait blocks p until the signal fires (returning immediately if it
+// already has) and returns the signal's error.
+func (s *Signal) Wait(p *Proc) error {
+	if !s.fired {
+		s.waiters = append(s.waiters, p)
+		p.block()
+	}
+	return s.err
+}
+
+// Queue is an unbounded FIFO channel between processes. Put never blocks;
+// Get blocks until an item is available. Items are delivered in insertion
+// order and waiters are served in arrival order.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue on kernel k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the longest-waiting getter, if any. It may be
+// called from process or event context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		p := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.k.After(0, func() { q.k.wake(p) })
+	}
+}
+
+// Get removes and returns the head item, blocking while the queue is
+// empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the head item without blocking. ok is false
+// if the queue is empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// semWaiter is a pending Acquire.
+type semWaiter struct {
+	p       *Proc
+	n       int64
+	granted bool
+}
+
+// Semaphore is a counting semaphore with FIFO granting: a large request at
+// the head of the line is not starved by smaller requests behind it.
+type Semaphore struct {
+	k       *Kernel
+	avail   int64
+	waiters []*semWaiter
+}
+
+// NewSemaphore returns a semaphore holding n units.
+func NewSemaphore(k *Kernel, n int64) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore capacity")
+	}
+	return &Semaphore{k: k, avail: n}
+}
+
+// Available reports the units currently free.
+func (s *Semaphore) Available() int64 { return s.avail }
+
+// Acquire blocks p until n units are available, then takes them.
+func (s *Semaphore) Acquire(p *Proc, n int64) {
+	if n < 0 {
+		panic("sim: negative semaphore acquire")
+	}
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	w := &semWaiter{p: p, n: n}
+	s.waiters = append(s.waiters, w)
+	for !w.granted {
+		p.block()
+	}
+}
+
+// Release returns n units and grants as many head-of-line waiters as now
+// fit.
+func (s *Semaphore) Release(n int64) {
+	if n < 0 {
+		panic("sim: negative semaphore release")
+	}
+	s.avail += n
+	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		w.granted = true
+		s.k.After(0, func() { s.k.wake(w.p) })
+	}
+}
+
+// Mutex is a mutual-exclusion lock with FIFO hand-off.
+type Mutex struct{ s *Semaphore }
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(k *Kernel) *Mutex { return &Mutex{s: NewSemaphore(k, 1)} }
+
+// Lock blocks p until the mutex is held.
+func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.s.Release(1) }
+
+// Barrier synchronizes a fixed party of n processes: each Wait blocks
+// until all n have arrived, then all are released and the barrier resets
+// for the next round.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs at least one party")
+	}
+	return &Barrier{k: k, n: n}
+}
+
+// Wait blocks p until all parties of the current round have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for _, w := range b.waiters {
+			w := w
+			b.k.After(0, func() { b.k.wake(w) })
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.block()
+}
+
+// WaitAll blocks p until every signal has fired, returning the first
+// non-nil error among them (in argument order).
+func WaitAll(p *Proc, signals ...*Signal) error {
+	var first error
+	for _, s := range signals {
+		if err := s.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

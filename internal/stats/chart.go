@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line on a Chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders numeric series as an ASCII scatter/line chart — enough to
+// eyeball the shape of the paper's figures straight from the terminal.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int // plot area in characters; defaults 64x20
+	series         []Series
+}
+
+// markers distinguish series on the grid.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart returns an empty chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+// Add appends a series. X and Y must have equal length.
+func (c *Chart) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("stats: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y)))
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor bandwidth-style charts at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = mark
+		}
+	}
+	for si, s := range c.series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], mark)
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var leg []string
+	for si, s := range c.series {
+		leg = append(leg, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  [%s]\n", strings.Join(leg, "   ")); err != nil {
+		return err
+	}
+	// Rows with y tick labels every 5 rows.
+	for r, row := range grid {
+		y := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		label := "        "
+		if r%5 == 0 || r == height-1 {
+			label = fmt.Sprintf("%7.1f ", y)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "         %-*.4g%*.4g   (%s vs %s)\n",
+		width/2, xmin, width/2-1, xmax, c.YLabel, c.XLabel)
+	return err
+}

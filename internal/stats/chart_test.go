@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("Demo", "x", "y")
+	c.Add(Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 5, 10}})
+	c.Add(Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{10, 5, 0}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "* a", "o b", "(y vs x)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers not plotted")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("Empty", "x", "y")
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	c := NewChart("", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}})
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	c := NewChart("One", "x", "y")
+	c.Add(Series{Name: "p", X: []float64{3}, Y: []float64{7}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestChartAnchorsAtZero(t *testing.T) {
+	// Bandwidth charts: a series living in [5,10] still shows a zero
+	// baseline.
+	c := NewChart("", "x", "y")
+	c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 10}})
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.0 |") {
+		t.Fatalf("no zero baseline:\n%s", sb.String())
+	}
+}

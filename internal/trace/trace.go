@@ -1,0 +1,121 @@
+// Package trace records a timeline of file system events — read calls,
+// stripe requests, prefetch decisions — for debugging models and
+// explaining performance. Tracing is off unless a Log is attached
+// (pfs.FileSystem.SetTrace, prefetch.Config.Trace), and a bounded log
+// keeps memory use flat on long runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	ReadStart     Kind = iota // application read call entered
+	ReadEnd                   // application read call returned
+	StripeSend                // a declustered piece sent to an I/O node
+	StripeReply               // a piece's data arrived back
+	PrefetchIssue             // read-ahead queued on the ART
+	PrefetchHit               // read served from a completed buffer
+	PrefetchWait              // read waited on an in-flight prefetch
+	PrefetchMiss              // no buffer matched; direct read
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ReadStart:
+		return "read-start"
+	case ReadEnd:
+		return "read-end"
+	case StripeSend:
+		return "stripe-send"
+	case StripeReply:
+		return "stripe-reply"
+	case PrefetchIssue:
+		return "prefetch-issue"
+	case PrefetchHit:
+		return "prefetch-hit"
+	case PrefetchWait:
+		return "prefetch-wait"
+	case PrefetchMiss:
+		return "prefetch-miss"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	T    sim.Time
+	Kind Kind
+	Node int    // compute or I/O node involved
+	File string // PFS path
+	Off  int64
+	N    int64
+}
+
+// Log is a bounded append-only event log. Not safe for use outside the
+// simulation's single-threaded discipline (which is where all producers
+// live).
+type Log struct {
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// NewLog returns a log that retains at most capacity events; later events
+// are counted but dropped.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Log{cap: capacity}
+}
+
+// Add appends an event (dropping it if the log is full).
+func (l *Log) Add(e Event) {
+	if len(l.events) >= l.cap {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the retained events in order.
+func (l *Log) Events() []Event { return l.events }
+
+// Dropped reports how many events did not fit.
+func (l *Log) Dropped() int64 { return l.dropped }
+
+// Count returns how many events of kind k were retained.
+func (l *Log) Count(k Kind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteText renders the timeline, one event per line.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%12v  %-14s node=%-3d %s [%d,+%d)\n",
+			e.T, e.Kind, e.Node, e.File, e.Off, e.N); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d further events dropped)\n", l.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

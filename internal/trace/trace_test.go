@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := ReadStart; k <= PrefetchMiss; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting wrong")
+	}
+}
+
+func TestLogAppendsAndCounts(t *testing.T) {
+	l := NewLog(8)
+	for i := 0; i < 3; i++ {
+		l.Add(Event{T: sim.Time(i), Kind: ReadStart, Node: i})
+	}
+	l.Add(Event{Kind: PrefetchHit})
+	if len(l.Events()) != 4 {
+		t.Fatalf("events = %d", len(l.Events()))
+	}
+	if l.Count(ReadStart) != 3 || l.Count(PrefetchHit) != 1 || l.Count(ReadEnd) != 0 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	l := NewLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{T: sim.Time(i)})
+	}
+	if len(l.Events()) != 2 || l.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(l.Events()), l.Dropped())
+	}
+	var sb strings.Builder
+	if err := l.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 further events dropped") {
+		t.Fatalf("drop notice missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := NewLog(4)
+	l.Add(Event{T: sim.Millisecond, Kind: PrefetchIssue, Node: 3, File: "data", Off: 65536, N: 65536})
+	var sb strings.Builder
+	if err := l.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"prefetch-issue", "node=3", "data", "[65536,+65536)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLog(0) did not panic")
+		}
+	}()
+	NewLog(0)
+}

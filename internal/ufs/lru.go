@@ -1,0 +1,55 @@
+package ufs
+
+import "container/list"
+
+// lru is a fixed-capacity LRU set used as the buffer cache's residency
+// index. The simulator never stores data bytes — residency is all that
+// affects timing.
+type lru struct {
+	cap   int
+	order *list.List               // front = most recent
+	items map[string]*list.Element // key -> element whose Value is the key
+}
+
+func newLRU(capacity int) *lru {
+	if capacity <= 0 {
+		panic("ufs: lru capacity must be positive")
+	}
+	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get reports whether key is resident and, if so, marks it most recent.
+func (c *lru) get(key string) bool {
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(e)
+	return true
+}
+
+// put inserts key as most recent, evicting the least recent entry if the
+// cache is full. Re-putting an existing key just refreshes it.
+func (c *lru) put(key string) {
+	if e, ok := c.items[key]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(string))
+	}
+	c.items[key] = c.order.PushFront(key)
+}
+
+// remove evicts key if resident.
+func (c *lru) remove(key string) {
+	if e, ok := c.items[key]; ok {
+		c.order.Remove(e)
+		delete(c.items, key)
+	}
+}
+
+// len reports the number of resident entries.
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,390 @@
+// Package ufs models the OSF/1 Unix File Systems that each Paragon I/O
+// node layered over its RAID array. A PFS file is striped across many of
+// these; each I/O node sees only its own stripe units, stored as a regular
+// file here.
+//
+// The pieces that matter to the paper are modeled faithfully:
+//
+//   - a block map with a fragmentation knob: files are allocated in mostly
+//     contiguous extents, and contiguity is what block coalescing exploits;
+//   - a buffer cache (LRU over file-system blocks) used on the buffered
+//     path, charged a memory-copy cost per block;
+//   - Fast Path I/O: cache and copy are bypassed and data moves "directly"
+//     between disk and the requester's buffer;
+//   - block coalescing: a multi-block request whose blocks are contiguous
+//     on disk becomes one array request;
+//   - partial-block penalty: requests not aligned to file-system blocks
+//     stage through temporary buffers, costing extra CPU per partial block
+//     (why the paper's request sizes are block multiples).
+package ufs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Config describes one I/O node's file system.
+type Config struct {
+	BlockSize     int64    // file system block size in bytes (Paragon default 64 KB)
+	CacheBlocks   int      // buffer cache capacity in blocks (0 disables)
+	Fragmentation float64  // probability an allocation run breaks contiguity
+	Seed          int64    // allocator randomness
+	MemBandwidth  float64  // I/O-node memory copy bandwidth, bytes/sec
+	PartialStage  sim.Time // extra CPU per partial (unaligned) block staged
+}
+
+// DefaultConfig returns Paragon-flavored parameters: 64 KB blocks, a 2 MB
+// buffer cache, light fragmentation, and i860-era copy bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:     64 << 10,
+		CacheBlocks:   32,
+		Fragmentation: 0.05,
+		Seed:          1,
+		MemBandwidth:  45e6,
+		PartialStage:  200 * sim.Microsecond,
+	}
+}
+
+// vnode is one file's metadata: the disk block address backing each file
+// block.
+type vnode struct {
+	name   string
+	size   int64
+	blocks []int64 // disk block number per file block
+}
+
+// FS is one I/O node's file system instance.
+type FS struct {
+	k     *sim.Kernel
+	array *disk.Array
+	cfg   Config
+	rng   *rand.Rand
+
+	files    map[string]*vnode
+	nextBlk  int64   // allocation cursor, in disk blocks
+	totalBlk int64   // capacity in blocks
+	freeBlks []int64 // blocks returned by Remove, reused first
+	cache    *lru
+	fills    map[string]*sim.Signal // cache blocks with a disk fill in flight
+	cpuFree  sim.Time               // I/O-node CPU clock for copy/staging costs
+
+	// Measurements.
+	Reads       int64
+	BytesRead   int64
+	CacheHits   int64
+	CacheMisses int64
+	FillWaits   int64 // reads that waited on an in-flight cache fill
+	DiskOps     int64 // array requests issued (after coalescing)
+}
+
+// New builds a file system over array. It panics on a non-positive block
+// size or memory bandwidth.
+func New(k *sim.Kernel, array *disk.Array, cfg Config) *FS {
+	if cfg.BlockSize <= 0 {
+		panic("ufs: block size must be positive")
+	}
+	if cfg.MemBandwidth <= 0 {
+		panic("ufs: memory bandwidth must be positive")
+	}
+	fs := &FS{
+		k:        k,
+		array:    array,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		files:    make(map[string]*vnode),
+		fills:    make(map[string]*sim.Signal),
+		totalBlk: array.Capacity() / cfg.BlockSize,
+	}
+	if cfg.CacheBlocks > 0 {
+		fs.cache = newLRU(cfg.CacheBlocks)
+	}
+	return fs
+}
+
+// BlockSize reports the file system block size.
+func (fs *FS) BlockSize() int64 { return fs.cfg.BlockSize }
+
+// Create allocates a file of size bytes. Allocation walks a cursor across
+// the volume, breaking contiguity with probability Fragmentation per
+// block, which reproduces the aging of a real UFS. Creating over an
+// existing name or beyond the volume is an error.
+func (fs *FS) Create(name string, size int64) error {
+	if _, ok := fs.files[name]; ok {
+		return fmt.Errorf("ufs: %s exists", name)
+	}
+	if size < 0 {
+		return fmt.Errorf("ufs: negative size %d", size)
+	}
+	nblocks := (size + fs.cfg.BlockSize - 1) / fs.cfg.BlockSize
+	if fs.nextBlk+nblocks-int64(len(fs.freeBlks))+64 > fs.totalBlk {
+		return fmt.Errorf("ufs: volume full allocating %s (%d blocks)", name, nblocks)
+	}
+	v := &vnode{name: name, size: size, blocks: make([]int64, nblocks)}
+	for i := int64(0); i < nblocks; i++ {
+		// Freed blocks are reused first, like a real allocator — which is
+		// exactly how volumes fragment as they age.
+		if len(fs.freeBlks) > 0 {
+			v.blocks[i] = fs.freeBlks[len(fs.freeBlks)-1]
+			fs.freeBlks = fs.freeBlks[:len(fs.freeBlks)-1]
+			continue
+		}
+		if i > 0 && fs.rng.Float64() < fs.cfg.Fragmentation {
+			// Skip ahead a few blocks: a hole left by another file.
+			fs.nextBlk += 1 + int64(fs.rng.Intn(8))
+		}
+		v.blocks[i] = fs.nextBlk
+		fs.nextBlk++
+	}
+	fs.files[name] = v
+	return nil
+}
+
+// Remove deletes a file, returning its blocks to the allocator and
+// evicting any cached copies.
+func (fs *FS) Remove(name string) error {
+	v, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("ufs: %s does not exist", name)
+	}
+	for b := range v.blocks {
+		key := cacheKey(name, int64(b))
+		if fs.cache != nil {
+			fs.cache.remove(key)
+		}
+		if fill, ok := fs.fills[key]; ok {
+			// Readers waiting on an in-flight fill must not hang; they
+			// get the unlink as an error.
+			delete(fs.fills, key)
+			fill.Fire(fmt.Errorf("ufs: %s removed during read", name))
+		}
+	}
+	fs.freeBlks = append(fs.freeBlks, v.blocks...)
+	delete(fs.files, name)
+	return nil
+}
+
+// Size reports a file's length, or an error if it does not exist.
+func (fs *FS) Size(name string) (int64, error) {
+	v, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("ufs: %s does not exist", name)
+	}
+	return v.size, nil
+}
+
+// ReadOptions selects the I/O path.
+type ReadOptions struct {
+	// FastPath bypasses the buffer cache: data moves from the array to
+	// the requester without a staging copy. This is the PFS
+	// buffering-disabled mode the prefetching paper runs under.
+	FastPath bool
+}
+
+// Read starts a read of n bytes at offset off from file name and returns
+// a signal fired when the data is available at the I/O node (transfer to
+// the requesting compute node is the caller's business). Reads past EOF
+// are an error, as in the real PFS where file sizes were established at
+// write time.
+func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, error) {
+	v, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("ufs: %s does not exist", name)
+	}
+	if off < 0 || n <= 0 || off+n > v.size {
+		return nil, fmt.Errorf("ufs: read [%d,+%d) outside %s (%d bytes)", off, n, name, v.size)
+	}
+	fs.Reads++
+	fs.BytesRead += n
+
+	bs := fs.cfg.BlockSize
+	first := off / bs
+	last := (off + n - 1) / bs
+
+	// Partial-block staging cost: head and tail blocks that are not fully
+	// covered pay PartialStage CPU each.
+	var staging sim.Time
+	if off%bs != 0 {
+		staging += fs.cfg.PartialStage
+	}
+	if (off+n)%bs != 0 && last != first || (off+n)%bs != 0 && off%bs == 0 {
+		staging += fs.cfg.PartialStage
+	}
+
+	// Classify blocks. A cached block needs no disk I/O; a block whose
+	// fill is already in flight (another reader, or a prefetch hint) is
+	// waited on rather than read twice; the rest miss and are read from
+	// the array, coalesced into contiguous runs. Blocks become resident
+	// only when their fill completes — never at issue time.
+	var missBlocks []int64    // disk block numbers to fetch
+	var missFiles []int64     // the file blocks those correspond to
+	var pending []*sim.Signal // fills in flight we must wait for
+	copyBytes := int64(0)     // bytes staged through the cache
+	for b := first; b <= last; b++ {
+		dblk := v.blocks[b]
+		if !opt.FastPath && fs.cache != nil {
+			key := cacheKey(name, b)
+			if fs.cache.get(key) {
+				fs.CacheHits++
+				copyBytes += bs
+				continue
+			}
+			if sig, ok := fs.fills[key]; ok {
+				fs.FillWaits++
+				copyBytes += bs
+				pending = append(pending, sig)
+				continue
+			}
+			fs.CacheMisses++
+			fs.fills[key] = sim.NewSignal(fs.k)
+			copyBytes += bs
+			missFiles = append(missFiles, b)
+		}
+		missBlocks = append(missBlocks, dblk)
+	}
+
+	done := sim.NewSignal(fs.k)
+	finish := func(err error) {
+		// Staging/copy costs serialize on the I/O node CPU.
+		var cpu sim.Time = staging
+		if copyBytes > 0 {
+			cpu += sim.Time(float64(copyBytes) / fs.cfg.MemBandwidth * float64(sim.Second))
+		}
+		start := fs.k.Now()
+		if fs.cpuFree > start {
+			start = fs.cpuFree
+		}
+		fs.cpuFree = start + cpu
+		fs.k.At(fs.cpuFree, func() { done.Fire(err) })
+	}
+
+	if len(missBlocks) == 0 && len(pending) == 0 {
+		// Fully cached.
+		fs.k.After(0, func() { finish(nil) })
+		return done, nil
+	}
+
+	runs := coalesce(missBlocks)
+	fs.DiskOps += int64(len(runs))
+	remaining := len(runs) + len(pending)
+	var firstErr error
+	oneDone := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			finish(firstErr)
+		}
+	}
+	for _, sig := range pending {
+		sig.OnFire(oneDone)
+	}
+	// missFiles parallels missBlocks, and coalesce preserves order, so
+	// each run covers the next run.count entries of missFiles.
+	fileIdx := 0
+	for _, r := range runs {
+		var filled []int64
+		if len(missFiles) > 0 {
+			filled = missFiles[fileIdx : fileIdx+int(r.count)]
+			fileIdx += int(r.count)
+		}
+		sig := fs.array.Read(r.start*bs, r.count*bs)
+		sig.OnFire(func(err error) {
+			// The blocks are resident (or abandoned, on error) only now.
+			for _, b := range filled {
+				key := cacheKey(name, b)
+				if fill, ok := fs.fills[key]; ok {
+					if err == nil {
+						fs.cache.put(key)
+					}
+					delete(fs.fills, key)
+					fill.Fire(err)
+				}
+			}
+			oneDone(err)
+		})
+	}
+	return done, nil
+}
+
+// Write starts a write of n bytes at offset off. The model is
+// write-through (the paper evaluates reads only; writes exist so that
+// workloads can build their input files in simulated time when desired).
+func (fs *FS) Write(name string, off, n int64) (*sim.Signal, error) {
+	v, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("ufs: %s does not exist", name)
+	}
+	if off < 0 || n <= 0 || off+n > v.size {
+		return nil, fmt.Errorf("ufs: write [%d,+%d) outside %s (%d bytes)", off, n, name, v.size)
+	}
+	bs := fs.cfg.BlockSize
+	first := off / bs
+	last := (off + n - 1) / bs
+	var blocks []int64
+	for b := first; b <= last; b++ {
+		blocks = append(blocks, v.blocks[b])
+		// Write-through invalidation: a stale cached copy must not serve
+		// later reads.
+		if fs.cache != nil {
+			fs.cache.remove(cacheKey(name, b))
+		}
+	}
+	runs := coalesce(blocks)
+	fs.DiskOps += int64(len(runs))
+	done := sim.NewSignal(fs.k)
+	remaining := len(runs)
+	var firstErr error
+	for _, r := range runs {
+		sig := fs.array.Write(r.start*bs, r.count*bs)
+		sig.OnFire(func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done.Fire(firstErr)
+			}
+		})
+	}
+	return done, nil
+}
+
+// run is a contiguous extent of disk blocks.
+type run struct {
+	start int64 // first disk block
+	count int64
+}
+
+// coalesce merges an ordered list of disk block numbers into contiguous
+// runs. Input order is preserved (file order), so only adjacent
+// contiguity merges — matching what a real block-coalescing read path can
+// do while streaming.
+func coalesce(blocks []int64) []run {
+	var runs []run
+	for _, b := range blocks {
+		if len(runs) > 0 && runs[len(runs)-1].start+runs[len(runs)-1].count == b {
+			runs[len(runs)-1].count++
+			continue
+		}
+		runs = append(runs, run{start: b, count: 1})
+	}
+	return runs
+}
+
+func cacheKey(name string, block int64) string {
+	return fmt.Sprintf("%s#%d", name, block)
+}
+
+// CacheHitRate reports the buffer cache hit fraction (0 with no lookups).
+func (fs *FS) CacheHitRate() float64 {
+	total := fs.CacheHits + fs.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(fs.CacheHits) / float64(total)
+}

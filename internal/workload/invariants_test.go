@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// stripeCoverage replays a run's stripe-reply events into a per-I/O-node
+// interval census: how many times each local byte range was served.
+type census map[int][]span
+
+type span struct{ off, end int64 }
+
+func collectCoverage(tl *trace.Log) census {
+	c := make(census)
+	for _, e := range tl.Events() {
+		if e.Kind != trace.StripeReply {
+			continue
+		}
+		c[e.Node] = append(c[e.Node], span{e.Off, e.Off + e.N})
+	}
+	return c
+}
+
+// servedBytes sums the extent of all replies.
+func (c census) servedBytes() int64 {
+	var total int64
+	for _, spans := range c {
+		for _, s := range spans {
+			total += s.end - s.off
+		}
+	}
+	return total
+}
+
+// overlapped reports whether any two reply spans on one node overlap.
+func (c census) overlapped() bool {
+	for _, spans := range c {
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.off < b.end && b.off < a.end {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestRecordScanServesEveryByteOnce is the core correctness invariant of
+// the whole stack, verified from the wire: a collective M_RECORD scan
+// must pull every stripe byte off the I/O nodes exactly once — no gaps,
+// no duplicate disk traffic — with and without prefetching.
+func TestRecordScanServesEveryByteOnce(t *testing.T) {
+	for _, withPrefetch := range []bool{false, true} {
+		tl := trace.NewLog(1 << 20)
+		spec := Spec{
+			FileSize:     4 << 20,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MRecord,
+			ComputeDelay: 10 * sim.Millisecond,
+			Trace:        tl,
+		}
+		if withPrefetch {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+		}
+		res, err := Run(cfg4x4(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := collectCoverage(tl)
+		if got := c.servedBytes(); got != res.TotalBytes {
+			t.Fatalf("prefetch=%v: wire served %d bytes, applications read %d",
+				withPrefetch, got, res.TotalBytes)
+		}
+		if c.overlapped() {
+			t.Fatalf("prefetch=%v: overlapping stripe replies (duplicate disk traffic)", withPrefetch)
+		}
+	}
+}
+
+// TestPrefetchNeverDuplicatesWireTraffic: random request sizes and
+// delays; whatever happens, the bytes on the wire equal the bytes the
+// application read (every prefetched byte is consumed, never refetched).
+func TestPrefetchNeverDuplicatesWireTraffic(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		req := int64(1+rng.Intn(8)) * 32 << 10
+		rounds := int64(2 + rng.Intn(6))
+		delay := sim.Time(rng.Intn(60)) * sim.Millisecond
+		tl := trace.NewLog(1 << 20)
+		pcfg := prefetch.DefaultConfig()
+		spec := Spec{
+			FileSize:     req * 4 * rounds,
+			RequestSize:  req,
+			Mode:         pfs.MRecord,
+			ComputeDelay: delay,
+			Prefetch:     &pcfg,
+			Trace:        tl,
+		}
+		res, err := Run(cfg4x4(), spec)
+		if err != nil {
+			return false
+		}
+		c := collectCoverage(tl)
+		return c.servedBytes() == res.TotalBytes && !c.overlapped()
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadStartEndBalanced: every read call that starts also ends, for
+// every mode, on the wire record.
+func TestReadStartEndBalanced(t *testing.T) {
+	for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MAsync} {
+		tl := trace.NewLog(1 << 20)
+		if _, err := Run(cfg4x4(), Spec{
+			FileSize:    2 << 20,
+			RequestSize: 128 << 10,
+			Mode:        mode,
+			Trace:       tl,
+		}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if s, e := tl.Count(trace.ReadStart), tl.Count(trace.ReadEnd); s != e || s == 0 {
+			t.Fatalf("%v: %d read-starts vs %d read-ends", mode, s, e)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package workload implements the synthetic workload programs of the
+// paper's evaluation: SPMD readers that open a shared PFS file in one of
+// the I/O modes and stream through it, optionally "computing" (delaying)
+// between reads to form the balanced workloads of Section 4.2, and
+// optionally running under the prefetching prototype.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Pattern selects the per-node access pattern.
+type Pattern int
+
+const (
+	// Interleaved reads records in node order: node i reads record
+	// r*parties+i in round r. The paper's M_RECORD workload (and its
+	// M_ASYNC equivalent, with application-managed pointers).
+	Interleaved Pattern = iota
+	// Partitioned assigns node i the contiguous i-th slice of the file.
+	Partitioned
+	// Random reads records at uniformly random record-aligned offsets,
+	// one full file's worth. Prefetching should not help here.
+	Random
+	// Strided reads every Stride-th record in node order: a matrix
+	// column walk.
+	Strided
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Interleaved:
+		return "interleaved"
+	case Partitioned:
+		return "partitioned"
+	case Random:
+		return "random"
+	case Strided:
+		return "strided"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Spec describes one workload run.
+type Spec struct {
+	File         string           // PFS path (created by Run)
+	FileSize     int64            // total bytes across all nodes
+	RequestSize  int64            // bytes per read call per node
+	Mode         pfs.Mode         // I/O mode for the shared file
+	ComputeDelay sim.Time         // simulated computation between consecutive reads
+	Prefetch     *prefetch.Config // nil disables prefetching
+
+	SeparateFiles bool    // each node opens a private file (Figure 2 baseline)
+	StripeUnit    int64   // 0 = mount default
+	StripeGroup   int     // 0 = all I/O nodes
+	Pattern       Pattern // non-collective modes only; collective modes imply Interleaved
+	Stride        int     // records skipped by Strided (≥1)
+	Seed          int64   // Random pattern seed
+
+	// Buffered disables Fast Path: reads stage through the I/O node
+	// buffer caches (required for server-side prefetch placement).
+	Buffered bool
+	// ServerSide selects the server-side prefetch placement instead of
+	// the compute-node prototype. Mutually exclusive with Prefetch.
+	ServerSide *prefetch.ServerSideConfig
+
+	// Trace, when non-nil, receives the run's file system and prefetch
+	// timeline.
+	Trace *trace.Log
+}
+
+// Result is what a run measured.
+type Result struct {
+	Spec       Spec
+	Elapsed    sim.Time        // slowest node's completion of all its reads
+	TotalBytes int64           // data delivered to applications
+	Bandwidth  float64         // TotalBytes over Elapsed, MB/s (the paper's metric)
+	NodeTimes  []sim.Time      // per-node completion times
+	ReadTime   stats.Histogram // per-call blocking read latency, seconds
+	Prefetch   *prefetch.Prefetcher
+	ServerSide *prefetch.ServerSide
+	Machine    *machine.Machine
+}
+
+// Run builds a machine from cfg, lays out the file(s), and drives one
+// reader process per compute node until every node has consumed its share
+// of the data.
+func Run(cfg machine.Config, spec Spec) (*Result, error) {
+	if err := validate(cfg, &spec); err != nil {
+		return nil, err
+	}
+	if spec.Buffered {
+		cfg.PFS.FastPath = false
+	}
+	m := machine.Build(cfg)
+	res := &Result{Spec: spec, Machine: m, NodeTimes: make([]sim.Time, cfg.ComputeNodes)}
+
+	group := stripeGroup(cfg, spec)
+	su := spec.StripeUnit
+	if su == 0 {
+		su = cfg.PFS.StripeUnit
+	}
+
+	if spec.Trace != nil {
+		m.FS.SetTrace(spec.Trace)
+	}
+	var pf *prefetch.Prefetcher
+	var ss *prefetch.ServerSide
+	switch {
+	case spec.Prefetch != nil && spec.ServerSide != nil:
+		return nil, fmt.Errorf("workload: Prefetch and ServerSide are mutually exclusive")
+	case spec.Prefetch != nil:
+		pcfg := *spec.Prefetch
+		if spec.Trace != nil && pcfg.Trace == nil {
+			pcfg.Trace = spec.Trace
+		}
+		pf = prefetch.New(m.K, pcfg)
+		res.Prefetch = pf
+	case spec.ServerSide != nil:
+		ss = prefetch.NewServerSide(*spec.ServerSide)
+		res.ServerSide = ss
+	}
+
+	nodes := cfg.ComputeNodes
+	if spec.SeparateFiles {
+		share := spec.FileSize / int64(nodes)
+		for i := 0; i < nodes; i++ {
+			name := fmt.Sprintf("%s.%d", spec.File, i)
+			if err := m.FS.CreateStriped(name, share, su, group); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := m.FS.CreateStriped(spec.File, spec.FileSize, su, group); err != nil {
+			return nil, err
+		}
+	}
+
+	var og *pfs.OpenGroup
+	if spec.Mode.Collective() && !spec.SeparateFiles {
+		og = pfs.NewOpenGroup(m.K, nodes)
+	}
+
+	var files []*pfs.File
+	errs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
+			name := spec.File
+			mode := spec.Mode
+			if spec.SeparateFiles {
+				name = fmt.Sprintf("%s.%d", spec.File, i)
+				mode = pfs.MAsync
+			}
+			f, err := m.FS.Open(name, m.Compute[i], mode, og)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if pf != nil {
+				pf.Attach(f)
+			}
+			if ss != nil {
+				ss.Attach(f)
+			}
+			errs[i] = drive(p, f, spec, i, nodes)
+			res.NodeTimes[i] = p.Now()
+			files = append(files, f)
+			if err := f.Close(); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("workload: node %d: %w", i, err)
+		}
+	}
+	for _, f := range files {
+		res.TotalBytes += f.BytesRead
+		f.ReadTime.Each(res.ReadTime.Observe)
+	}
+	for _, t := range res.NodeTimes {
+		if t > res.Elapsed {
+			res.Elapsed = t
+		}
+	}
+	res.Bandwidth = stats.MBps(res.TotalBytes, res.Elapsed)
+	return res, nil
+}
+
+// drive runs one node's read loop per the spec's pattern.
+func drive(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
+	req := spec.RequestSize
+	delayThen := func(first *bool) {
+		if *first {
+			*first = false
+			return
+		}
+		if spec.ComputeDelay > 0 {
+			p.Sleep(spec.ComputeDelay)
+		}
+	}
+
+	switch {
+	case spec.SeparateFiles:
+		first := true
+		for {
+			delayThen(&first)
+			if _, err := f.Read(p, req); err == io.EOF {
+				return nil
+			} else if err != nil {
+				return err
+			}
+		}
+
+	case spec.Mode.Collective() || spec.Mode == pfs.MUnix || spec.Mode == pfs.MLog:
+		// Shared-pointer and collective modes: just keep reading.
+		first := true
+		for {
+			delayThen(&first)
+			if _, err := f.Read(p, req); err == io.EOF {
+				return nil
+			} else if err != nil {
+				return err
+			}
+		}
+
+	default: // M_ASYNC: the application manages its own pointer.
+		return driveAsync(p, f, spec, rank, parties)
+	}
+}
+
+// driveAsync implements the per-pattern M_ASYNC loops.
+func driveAsync(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
+	req := spec.RequestSize
+	size := f.Size()
+	readAt := func(off int64, first *bool) error {
+		if !*first && spec.ComputeDelay > 0 {
+			p.Sleep(spec.ComputeDelay)
+		}
+		*first = false
+		if err := f.SeekTo(off); err != nil {
+			return err
+		}
+		_, err := f.Read(p, req)
+		if err == io.EOF {
+			return nil
+		}
+		return err
+	}
+
+	first := true
+	switch spec.Pattern {
+	case Interleaved:
+		for r := int64(0); ; r++ {
+			off := (r*int64(parties) + int64(rank)) * req
+			if off >= size {
+				return nil
+			}
+			if err := readAt(off, &first); err != nil {
+				return err
+			}
+		}
+	case Partitioned:
+		share := size / int64(parties)
+		start := int64(rank) * share
+		for off := start; off < start+share; off += req {
+			if err := readAt(off, &first); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Random:
+		rng := rand.New(rand.NewSource(spec.Seed + int64(rank)*1099511628211))
+		records := size / req / int64(parties)
+		maxRec := size / req
+		for i := int64(0); i < records; i++ {
+			off := rng.Int63n(maxRec) * req
+			if off+req > size {
+				off = size - req
+			}
+			if err := readAt(off, &first); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Strided:
+		stride := int64(spec.Stride)
+		if stride < 1 {
+			stride = 1
+		}
+		for r := int64(0); ; r++ {
+			off := (r*int64(parties)*stride + int64(rank)*stride) * req
+			if off >= size {
+				return nil
+			}
+			if err := readAt(off, &first); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("workload: unknown pattern %v", spec.Pattern)
+	}
+}
+
+// validate fills defaults and rejects nonsense.
+func validate(cfg machine.Config, spec *Spec) error {
+	if spec.File == "" {
+		spec.File = "data"
+	}
+	if spec.FileSize <= 0 {
+		return fmt.Errorf("workload: file size %d must be positive", spec.FileSize)
+	}
+	if spec.RequestSize <= 0 {
+		return fmt.Errorf("workload: request size %d must be positive", spec.RequestSize)
+	}
+	if spec.SeparateFiles && spec.FileSize%int64(cfg.ComputeNodes) != 0 {
+		return fmt.Errorf("workload: file size %d not divisible across %d separate files",
+			spec.FileSize, cfg.ComputeNodes)
+	}
+	if spec.StripeGroup < 0 || spec.StripeGroup > cfg.IONodes {
+		return fmt.Errorf("workload: stripe group %d outside [0,%d]", spec.StripeGroup, cfg.IONodes)
+	}
+	if !spec.Mode.Valid() {
+		return fmt.Errorf("workload: invalid mode %d", int(spec.Mode))
+	}
+	return nil
+}
+
+// stripeGroup resolves the stripe group server indices.
+func stripeGroup(cfg machine.Config, spec Spec) []int {
+	n := spec.StripeGroup
+	if n == 0 {
+		n = cfg.IONodes
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	return group
+}
