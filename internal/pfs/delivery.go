@@ -1,0 +1,66 @@
+package pfs
+
+// Delivery accounting: a canonical record of every byte range that
+// actually reached an application's buffer through an open instance, in
+// the order it arrived. The simulation carries no real file contents, so
+// "the data the user read" is fully determined by the sequence of
+// (offset, length) ranges delivered: with a deterministic reference file
+// (byte i has value f(i)), hashing the ranges is equivalent to hashing
+// the bytes. simcheck's data-correctness oracle compares these digests
+// between prefetch-on and prefetch-off runs and against an analytic
+// reference model; a prefetch hit that copies from the wrong buffer, or
+// a mode that hands a node the wrong region, shows up here even though
+// timing-only metrics look plausible.
+//
+// Recording happens at the points where data crosses into the user
+// buffer — the direct Fast Path read, the prefetcher's hit/fallback
+// paths (package prefetch calls RecordDelivery with the range the buffer
+// actually held), and the M_GLOBAL broadcast deliveries — never for
+// speculative I/O, which by definition the user has not seen.
+
+// Delivery is one user-visible byte range, in delivery order.
+type Delivery struct {
+	Off, N int64
+}
+
+// DeliveryHashSeed is the initial accumulator for FoldDelivery chains
+// (the FNV-64a offset basis).
+const DeliveryHashSeed uint64 = 14695981039346656037
+
+// FoldDelivery folds one delivered range into a running FNV-64a digest.
+// It is exported so reference models outside this package can compute the
+// digest an open instance should end up with.
+func FoldDelivery(h uint64, off, n int64) uint64 {
+	const prime = 1099511628211
+	for _, v := range []uint64{uint64(off), uint64(n)} {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime
+		}
+	}
+	return h
+}
+
+// RecordDelivery accounts n bytes at off as delivered to the user through
+// this open instance. Called by the paths that put data in the user's
+// buffer; exported because the prefetcher's hit path lives in package
+// prefetch and must report the range the consumed buffer actually held.
+func (f *File) RecordDelivery(off, n int64) {
+	f.deliveryHash = FoldDelivery(f.deliveryHash, off, n)
+	f.DeliveredBytes += n
+	if f.logDeliveries {
+		f.deliveryLog = append(f.deliveryLog, Delivery{Off: off, N: n})
+	}
+}
+
+// EnableDeliveryLog keeps the full per-range delivery list (off by
+// default: the digest alone needs no memory proportional to the run).
+func (f *File) EnableDeliveryLog() { f.logDeliveries = true }
+
+// Deliveries returns the recorded ranges, in delivery order (empty unless
+// EnableDeliveryLog was called before reading).
+func (f *File) Deliveries() []Delivery { return f.deliveryLog }
+
+// DeliveryDigest returns the running digest over all delivered ranges.
+// A fresh instance returns DeliveryHashSeed.
+func (f *File) DeliveryDigest() uint64 { return f.deliveryHash }

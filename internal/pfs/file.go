@@ -43,9 +43,15 @@ type File struct {
 	bcastSem  *sim.Semaphore // M_GLOBAL delivery credits for non-root parties
 
 	// Measurements.
-	ReadCalls int64
-	BytesRead int64
-	ReadTime  stats.Histogram // blocking read call latency, seconds
+	ReadCalls      int64
+	BytesRead      int64
+	IOBytes        int64           // bytes successfully pulled over the stripe fast path
+	DeliveredBytes int64           // bytes recorded as delivered to the user
+	ReadTime       stats.Histogram // blocking read call latency, seconds
+
+	deliveryHash  uint64 // running FoldDelivery digest (see delivery.go)
+	deliveryLog   []Delivery
+	logDeliveries bool
 }
 
 // Name returns the file's PFS path.
@@ -290,6 +296,8 @@ func (f *File) globalRead(p *sim.Proc, off, n int64) error {
 		return nil
 	}
 	f.bcast().Acquire(p, 1)
+	// The broadcast payload is this rank's copy of [off, off+n).
+	f.RecordDelivery(off, n)
 	return nil
 }
 
@@ -323,12 +331,18 @@ func (f *File) bcast() *sim.Semaphore {
 }
 
 // performRead routes a positioned read through the prefetcher when one is
-// installed, else straight to the striped Fast Path.
+// installed, else straight to the striped Fast Path. The prefetch service
+// owns delivery accounting for the ranges it serves (it alone knows which
+// buffer a hit copied from); the direct path records here.
 func (f *File) performRead(p *sim.Proc, off, n int64) error {
 	if f.pf != nil {
 		return f.pf.ServeRead(p, f, off, n)
 	}
-	return f.BlockingIO(p, off, n)
+	if err := f.BlockingIO(p, off, n); err != nil {
+		return err
+	}
+	f.RecordDelivery(off, n)
+	return nil
 }
 
 // BlockingIO performs the raw striped read of [off, off+n), blocking p
@@ -339,7 +353,11 @@ func (f *File) BlockingIO(p *sim.Proc, off, n int64) error {
 	if off < 0 || n <= 0 || off+n > f.meta.size {
 		return fmt.Errorf("pfs: read [%d,+%d) outside %s (%d bytes)", off, n, f.meta.name, f.meta.size)
 	}
-	return f.fsys.stripeIO(f.node, f.meta, off, n, false).Wait(p)
+	if err := f.fsys.stripeIO(f.node, f.meta, off, n, false).Wait(p); err != nil {
+		return err
+	}
+	f.IOBytes += n
+	return nil
 }
 
 // HintAt asks the I/O nodes holding [off, off+n) to pull those stripe

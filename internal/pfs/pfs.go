@@ -224,7 +224,7 @@ func (fsys *FileSystem) Open(name string, node int, mode Mode, group *OpenGroup)
 	if mode.Collective() && group == nil {
 		return nil, fmt.Errorf("%w (%v)", ErrNeedGroup, mode)
 	}
-	f := &File{fsys: fsys, meta: meta, node: node, mode: mode, group: group}
+	f := &File{fsys: fsys, meta: meta, node: node, mode: mode, group: group, deliveryHash: DeliveryHashSeed}
 	if group != nil {
 		f.rank = group.join(f)
 	}

@@ -76,15 +76,17 @@ type Prefetcher struct {
 	adapt map[*pfs.File]*adaptState
 
 	// Measurements.
-	Issued     int64           // prefetch requests queued on the ART
-	Hits       int64           // reads served entirely from a completed buffer
-	HitsInWait int64           // reads that waited on an in-flight prefetch
-	Misses     int64           // reads with no matching buffer
-	Wasted     int64           // buffers freed unused at close
-	Skipped    int64           // prefetches suppressed by the buffer cap
-	Fallbacks  int64           // failed prefetches retried as direct reads
-	Throttled  int64           // issues suppressed by the adaptive policy
-	WaitTime   stats.Histogram // time spent waiting on in-flight prefetches, seconds
+	Issued      int64           // prefetch requests queued on the ART
+	Hits        int64           // reads served entirely from a completed buffer
+	HitsInWait  int64           // reads that waited on an in-flight prefetch
+	Misses      int64           // reads with no matching buffer
+	Wasted      int64           // buffers freed unused at close
+	Skipped     int64           // prefetches suppressed by the buffer cap
+	Fallbacks   int64           // failed prefetches retried as direct reads
+	Throttled   int64           // issues suppressed by the adaptive policy
+	BytesCopied int64           // bytes delivered from prefetch buffers (hit-path copies)
+	BytesDirect int64           // bytes delivered by direct reads (misses + fallbacks)
+	WaitTime    stats.Histogram // time spent waiting on in-flight prefetches, seconds
 }
 
 // adaptState is the adaptive policy's per-file picture of the
@@ -162,6 +164,10 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			// normal Fast Path read.
 			pf.Fallbacks++
 			err = f.BlockingIO(p, off, n)
+			if err == nil {
+				f.RecordDelivery(off, n)
+				pf.BytesDirect += n
+			}
 		case waited:
 			pf.HitsInWait++
 			pf.emit(p, trace.PrefetchWait, f, off, n)
@@ -169,17 +175,29 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			pf.Hits++
 			pf.emit(p, trace.PrefetchHit, f, off, n)
 		}
-		if err == nil && !pf.cfg.FreeCopy && e.req.Done.Err() == nil {
-			// Prefetch buffer -> user buffer copy; Fast Path avoids this.
-			p.Sleep(sim.Time(float64(n) / pf.cfg.MemBandwidth * float64(sim.Second)))
+		if err == nil && e.req.Done.Err() == nil {
+			// The user's bytes come out of the consumed buffer, from its
+			// start — the range recorded is the buffer's, not the
+			// request's, so a lookup that matched the wrong buffer is
+			// visible to the data-correctness oracle.
+			f.RecordDelivery(e.off, n)
+			pf.BytesCopied += n
+			if !pf.cfg.FreeCopy {
+				// Prefetch buffer -> user buffer copy; Fast Path avoids this.
+				p.Sleep(sim.Time(float64(n) / pf.cfg.MemBandwidth * float64(sim.Second)))
+			}
 		}
 	} else {
 		pf.Misses++
 		pf.emit(p, trace.PrefetchMiss, f, off, n)
 		ioStart := p.Now()
 		err = f.BlockingIO(p, off, n)
-		if st != nil && err == nil {
-			st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.samples)
+		if err == nil {
+			f.RecordDelivery(off, n)
+			pf.BytesDirect += n
+			if st != nil {
+				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.samples)
+			}
 		}
 	}
 	if err != nil {

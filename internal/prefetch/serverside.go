@@ -51,6 +51,7 @@ func (ss *ServerSide) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 	if err := f.BlockingIO(p, off, n); err != nil {
 		return err
 	}
+	f.RecordDelivery(off, n)
 	next := f.NextRecordOffset(off, n)
 	for d := 0; d < ss.cfg.Depth; d++ {
 		if next < 0 || next >= f.Size() {

@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+// FuzzKernelOrdering feeds the scheduler arbitrary shapes of At/After
+// schedules — including events that schedule further events while
+// running — and asserts the kernel's core contract: every scheduled
+// event executes exactly once, execution time never goes backwards, and
+// events at the same instant run in FIFO scheduling order (the (t, seq)
+// heap discipline every higher layer's determinism rests on).
+func FuzzKernelOrdering(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7})
+	f.Add([]byte{0x3f, 0x10, 0x20, 0xff, 0})
+	f.Add([]byte{13, 0x31, 0x31, 0x31, 200, 100, 50})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 48 {
+			data = data[:48]
+		}
+		k := NewKernel()
+		type rec struct {
+			t     Time
+			issue int
+		}
+		var execd []rec
+		issued := 0
+
+		// spawn schedules one event issue-numbered in At-call order; bits
+		// of b decide whether the event spawns children when it runs.
+		var spawn func(b byte, depth int)
+		spawn = func(b byte, depth int) {
+			me := issued
+			issued++
+			delay := Time(b%13) * Millisecond
+			k.After(delay, func() {
+				execd = append(execd, rec{k.Now(), me})
+				if depth < 3 && b&0x10 != 0 {
+					spawn(b>>1, depth+1)
+				}
+				if depth < 3 && b&0x20 != 0 {
+					spawn(b>>2, depth+1)
+				}
+			})
+		}
+		for _, b := range data {
+			spawn(b, 0)
+		}
+
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if len(execd) != issued {
+			t.Fatalf("executed %d of %d scheduled events", len(execd), issued)
+		}
+		if k.Executed() != uint64(issued) {
+			t.Fatalf("kernel counted %d executions, harness %d", k.Executed(), issued)
+		}
+		if k.Pending() != 0 || k.Live() != 0 {
+			t.Fatalf("residual state: %d pending events, %d live procs", k.Pending(), k.Live())
+		}
+		seen := make(map[int]bool, len(execd))
+		for i, r := range execd {
+			if seen[r.issue] {
+				t.Fatalf("event %d executed twice", r.issue)
+			}
+			seen[r.issue] = true
+			if i == 0 {
+				continue
+			}
+			prev := execd[i-1]
+			if r.t < prev.t {
+				t.Fatalf("time went backwards: event %d at %v after event %d at %v",
+					r.issue, r.t, prev.issue, prev.t)
+			}
+			if r.t == prev.t && r.issue < prev.issue {
+				t.Fatalf("FIFO violated at %v: event %d ran after event %d", r.t, r.issue, prev.issue)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 )
 
 // event is a scheduled callback.
@@ -38,13 +39,14 @@ func (h *eventHeap) Pop() any {
 // is expressed through processes, which the kernel interleaves
 // deterministically one at a time.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{} // hand-off channel shared by all procs
-	live    int           // procs started and not yet finished
-	daemons int           // live procs marked as daemons (service loops)
-	failed  error         // first process panic, if any
+	now      Time
+	seq      uint64
+	events   eventHeap
+	yield    chan struct{} // hand-off channel shared by all procs
+	live     int           // procs started and not yet finished
+	daemons  int           // live procs marked as daemons (service loops)
+	executed uint64        // events run so far
+	failed   error         // first process panic, if any
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -62,6 +64,32 @@ func (k *Kernel) Pending() int { return len(k.events) }
 // yet returned. After Run, a nonzero value means some processes are blocked
 // forever (a modeling deadlock).
 func (k *Kernel) Live() int { return k.live }
+
+// Daemons reports how many of the live processes are daemons (service
+// loops that legitimately outlive the workload). A quiescent simulation
+// has Live() == Daemons().
+func (k *Kernel) Daemons() int { return k.daemons }
+
+// Executed reports the number of events the kernel has run. Together with
+// the clock and the sequence counter it summarizes the whole schedule: two
+// runs of the same model that disagree anywhere disagree here.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Fingerprint digests the kernel's terminal state — clock, total events
+// scheduled, events executed, and residual process census — for run-twice
+// determinism checks. It is not a hash of the event history itself; the
+// per-event record lives in the trace log, which has its own digest.
+func (k *Kernel) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{uint64(k.now), k.seq, k.executed, uint64(k.live), uint64(k.daemons)} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality.
@@ -101,6 +129,7 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		heap.Pop(&k.events)
 		k.now = e.t
+		k.executed++
 		e.fn()
 		if k.failed != nil {
 			return k.failed

@@ -1,0 +1,349 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// A Failure is one oracle violation, tagged with the seed that replays it.
+type Failure struct {
+	Seed   int64
+	Oracle string // determinism | data | conservation | sanity
+	Detail string
+}
+
+func (f Failure) Error() string {
+	return fmt.Sprintf("seed %d: %s oracle: %s", f.Seed, f.Oracle, f.Detail)
+}
+
+// run is one simulation execution with its trace attached.
+type run struct {
+	res *workload.Result
+	tl  *trace.Log
+	err error
+}
+
+// traceCap bounds the per-run trace log. Scenario files are a few MB at
+// most, so full traces are a few thousand events; the sanity oracle
+// asserts nothing was dropped.
+const traceCap = 1 << 18
+
+// execute builds a fresh machine for the scenario and drives it once.
+// The spec may be tweaked by the caller (reference runs, delay bumps).
+func execute(cfg machine.Config, spec workload.Spec) run {
+	tl := trace.NewLog(traceCap)
+	spec.Trace = tl
+	res, err := workload.Run(cfg, spec)
+	return run{res: res, tl: tl, err: err}
+}
+
+// checkDeterminism compares two executions of the identical scenario.
+func checkDeterminism(seed int64, a, b run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "determinism", Detail: fmt.Sprintf(format, args...)})
+	}
+	switch {
+	case (a.err == nil) != (b.err == nil):
+		fail("run 1 error %v, run 2 error %v", a.err, b.err)
+	case a.err != nil:
+		if a.err.Error() != b.err.Error() {
+			fail("error text differs:\n  run 1: %v\n  run 2: %v", a.err, b.err)
+		}
+	default:
+		if fa, fb := a.res.Fingerprint(), b.res.Fingerprint(); fa != fb {
+			fail("result fingerprints differ: %016x vs %016x", fa, fb)
+		}
+		if da, db := a.tl.Digest(), b.tl.Digest(); da != db {
+			fail("trace digests differ: %016x vs %016x (%d vs %d events)",
+				da, db, len(a.tl.Events()), len(b.tl.Events()))
+		}
+	}
+	return fs
+}
+
+// checkSanity asserts the basic well-formedness of one successful run.
+func checkSanity(seed int64, sc Scenario, r run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "sanity", Detail: fmt.Sprintf(format, args...)})
+	}
+	res := r.res
+	if res.Elapsed <= 0 {
+		fail("elapsed %v not positive", res.Elapsed)
+	}
+	if res.Bandwidth <= 0 {
+		fail("bandwidth %.3f not positive", res.Bandwidth)
+	}
+	for i, t := range res.NodeTimes {
+		if t <= 0 || t > res.Elapsed {
+			fail("node %d completion %v outside (0, %v]", i, t, res.Elapsed)
+		}
+	}
+	if k := res.Machine.K; k.Live() != k.Daemons() {
+		fail("%d non-daemon process(es) still live after run", k.Live()-k.Daemons())
+	}
+	if r.tl.Dropped() > 0 {
+		fail("trace log dropped %d events (capacity %d too small for oracle use)", r.tl.Dropped(), traceCap)
+	}
+	if res.ReadTime.N() != int(res.ReadCalls) {
+		fail("read latency histogram has %d samples for %d read calls", res.ReadTime.N(), res.ReadCalls)
+	}
+	if min := res.ReadTime.Min(); min < 0 {
+		fail("negative read latency %v", min)
+	}
+	return fs
+}
+
+// checkMonotone asserts that adding compute delay never makes the run
+// finish earlier. base succeeded with sc.Spec; slower is the same
+// scenario with a strictly larger ComputeDelay.
+func checkMonotone(seed int64, base, slower run) []Failure {
+	if slower.err != nil {
+		return []Failure{{Seed: seed, Oracle: "sanity",
+			Detail: fmt.Sprintf("delay-bumped rerun failed: %v", slower.err)}}
+	}
+	if slower.res.Elapsed < base.res.Elapsed {
+		return []Failure{{Seed: seed, Oracle: "sanity",
+			Detail: fmt.Sprintf("elapsed decreased when compute delay increased: %v -> %v",
+				base.res.Elapsed, slower.res.Elapsed)}}
+	}
+	return nil
+}
+
+// checkConservation cross-foots the byte and counter accounting of one
+// successful, fault-free run.
+func checkConservation(seed int64, sc Scenario, r run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "conservation", Detail: fmt.Sprintf(format, args...)})
+	}
+	res := r.res
+
+	// Delivered ranges must account for every byte the applications read.
+	var delivered int64
+	for _, ranges := range res.Deliveries {
+		for _, d := range ranges {
+			delivered += d.N
+		}
+	}
+	if delivered != res.TotalBytes {
+		fail("delivery records cover %d bytes, applications read %d", delivered, res.TotalBytes)
+	}
+
+	// Every byte pulled over the fast path by user-facing instances left
+	// an I/O node exactly once, and vice versa: nothing minted, nothing
+	// double-served. (Server-side cache hints do not count as service.)
+	var served int64
+	for _, s := range res.Machine.Servers {
+		served += s.BytesServed
+	}
+	if served != res.IOBytes {
+		fail("I/O nodes served %d bytes, fast path accounted %d", served, res.IOBytes)
+	}
+
+	// The prefetcher must classify every read it served, exactly once:
+	// hits + waited hits + misses + fallbacks = reads routed through it.
+	if p := res.Prefetch; p != nil {
+		servedReads := p.Hits + p.HitsInWait + p.Misses + p.Fallbacks
+		wantReads := res.ReadCalls
+		if sc.Spec.Mode == pfs.MGlobal {
+			// Only the broadcast root routes through the prefetcher.
+			wantReads /= int64(sc.Cfg.ComputeNodes)
+		}
+		if servedReads != wantReads {
+			fail("prefetch counters sum to %d (%d hit + %d wait + %d miss + %d fallback), want %d reads",
+				servedReads, p.Hits, p.HitsInWait, p.Misses, p.Fallbacks, wantReads)
+		}
+		// The trace saw the same decisions the counters did.
+		if r.tl.Dropped() == 0 {
+			for _, c := range []struct {
+				kind trace.Kind
+				n    int64
+			}{
+				{trace.PrefetchHit, p.Hits},
+				{trace.PrefetchWait, p.HitsInWait},
+				{trace.PrefetchMiss, p.Misses},
+				{trace.PrefetchIssue, p.Issued},
+			} {
+				if got := int64(r.tl.Count(c.kind)); got != c.n {
+					fail("trace recorded %d %v events, counters say %d", got, c.kind, c.n)
+				}
+			}
+		}
+		// Delivered bytes split cleanly between buffer copies and direct
+		// reads (M_GLOBAL non-root broadcast deliveries are neither).
+		if sc.Spec.Mode != pfs.MGlobal && p.BytesCopied+p.BytesDirect != res.TotalBytes {
+			fail("prefetcher delivered %d buffer + %d direct bytes, applications read %d",
+				p.BytesCopied, p.BytesDirect, res.TotalBytes)
+		}
+	}
+
+	// Full-pass access patterns must deliver the file exactly once — no
+	// gaps, no byte delivered twice.
+	switch coverageShape(sc.Spec) {
+	case coverUnion:
+		if d := exactCover(flatten(res.Deliveries), sc.Spec.FileSize); d != "" {
+			fail("union coverage: %s", d)
+		}
+	case coverPerNode:
+		size := sc.Spec.FileSize
+		if sc.Spec.SeparateFiles {
+			size /= int64(sc.Cfg.ComputeNodes)
+		}
+		for i, ranges := range res.Deliveries {
+			if d := exactCover(append([]pfs.Delivery(nil), ranges...), size); d != "" {
+				fail("node %d coverage: %s", i, d)
+			}
+		}
+	}
+	return fs
+}
+
+type coverKind int
+
+const (
+	coverNone    coverKind = iota // pattern legitimately skips or repeats bytes
+	coverUnion                    // all nodes together read the file exactly once
+	coverPerNode                  // every node reads its (own) file exactly once
+)
+
+// coverageShape classifies what "read the whole file exactly once" means
+// for a spec, if anything.
+func coverageShape(spec workload.Spec) coverKind {
+	switch {
+	case spec.SeparateFiles:
+		return coverPerNode
+	case spec.Mode == pfs.MGlobal:
+		return coverPerNode // every node receives the whole file
+	case spec.Mode == pfs.MAsync && (spec.Pattern == workload.Random || (spec.Pattern == workload.Strided && spec.Stride > 1)):
+		return coverNone
+	default:
+		return coverUnion
+	}
+}
+
+// flatten merges per-node delivery lists into one slice.
+func flatten(per [][]pfs.Delivery) []pfs.Delivery {
+	var out []pfs.Delivery
+	for _, ranges := range per {
+		out = append(out, ranges...)
+	}
+	return out
+}
+
+// exactCover checks that ranges tile [0, size) with no gap and no
+// overlap, returning "" or a description of the first defect. The input
+// slice is reordered.
+func exactCover(ranges []pfs.Delivery, size int64) string {
+	sort.Slice(ranges, func(i, j int) bool {
+		if ranges[i].Off != ranges[j].Off {
+			return ranges[i].Off < ranges[j].Off
+		}
+		return ranges[i].N < ranges[j].N
+	})
+	var at int64
+	for _, r := range ranges {
+		switch {
+		case r.Off > at:
+			return fmt.Sprintf("gap [%d,%d) never delivered", at, r.Off)
+		case r.Off < at:
+			return fmt.Sprintf("overlap: [%d,+%d) delivered after coverage reached %d", r.Off, r.N, at)
+		}
+		at = r.Off + r.N
+	}
+	if at != size {
+		return fmt.Sprintf("coverage ends at %d of %d bytes", at, size)
+	}
+	return ""
+}
+
+// checkData is the data-correctness oracle: with a prefetch service
+// installed, every node must receive byte-identical data to the plain
+// fast-path run, and — where the access sequence is statically assigned —
+// to the in-memory reference file model.
+func checkData(seed int64, sc Scenario, fetched, plain run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "data", Detail: fmt.Sprintf(format, args...)})
+	}
+	if plain.err != nil {
+		return []Failure{{Seed: seed, Oracle: "data",
+			Detail: fmt.Sprintf("prefetch-off reference run failed: %v", plain.err)}}
+	}
+	if fetched.res.TotalBytes != plain.res.TotalBytes {
+		fail("prefetch-on read %d bytes, prefetch-off %d", fetched.res.TotalBytes, plain.res.TotalBytes)
+	}
+
+	static := staticAssignment(sc.Spec)
+	parties := sc.Cfg.ComputeNodes
+	for i := range fetched.res.DeliveryDigests {
+		if static {
+			// Order-sensitive per-node comparison, three ways: prefetch-on
+			// vs prefetch-off range digests, and both vs the reference
+			// file's content over the analytically expected ranges.
+			if a, b := fetched.res.DeliveryDigests[i], plain.res.DeliveryDigests[i]; a != b {
+				fail("node %d: delivered ranges differ with prefetching (digest %016x vs %016x)", i, a, b)
+				continue
+			}
+			want := expectedDeliveries(sc.Spec, parties, i)
+			if got := fetched.res.Deliveries[i]; contentDigest(got) != contentDigest(want) {
+				fail("node %d: delivered content differs from reference file (%d ranges, want %d): %s",
+					i, len(got), len(want), firstRangeDiff(got, want))
+			}
+		}
+	}
+	if !static {
+		// Unordered shared-pointer modes: region claims depend on timing,
+		// so compare the union — both runs must deliver the same multiset
+		// of ranges (each an exact cover, checked by conservation).
+		if d := sameRangeMultiset(flatten(fetched.res.Deliveries), flatten(plain.res.Deliveries)); d != "" {
+			fail("delivered range multisets differ with prefetching: %s", d)
+		}
+	}
+	return fs
+}
+
+// firstRangeDiff describes the first position where two delivery
+// sequences disagree.
+func firstRangeDiff(got, want []pfs.Delivery) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("read %d delivered [%d,+%d), reference says [%d,+%d)",
+				i, got[i].Off, got[i].N, want[i].Off, want[i].N)
+		}
+	}
+	return fmt.Sprintf("common prefix of %d reads agrees", n)
+}
+
+// sameRangeMultiset compares two unordered collections of ranges.
+func sameRangeMultiset(a, b []pfs.Delivery) string {
+	key := func(rs []pfs.Delivery) map[pfs.Delivery]int {
+		m := make(map[pfs.Delivery]int, len(rs))
+		for _, r := range rs {
+			m[r]++
+		}
+		return m
+	}
+	ma, mb := key(a), key(b)
+	for r, n := range ma {
+		if mb[r] != n {
+			return fmt.Sprintf("[%d,+%d) delivered %d time(s) with prefetch, %d without", r.Off, r.N, n, mb[r])
+		}
+	}
+	for r, n := range mb {
+		if ma[r] != n {
+			return fmt.Sprintf("[%d,+%d) delivered %d time(s) without prefetch, %d with", r.Off, r.N, n, ma[r])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,135 @@
+package simcheck
+
+import (
+	"repro/internal/pfs"
+	"repro/internal/workload"
+)
+
+// The reference model: an in-memory stand-in for the PFS file, computed
+// from the Spec alone with none of the simulator's machinery. The
+// simulation carries no real payload bytes, so file content is defined by
+// position — refByte(i) is the value of byte i — and "what the node read"
+// is the content stream over its delivered ranges. For the access
+// patterns whose per-node read sequence is a pure function of the Spec
+// (every mode except the unordered shared-pointer pair M_UNIX/M_LOG),
+// expectedDeliveries reproduces that sequence analytically; hashing the
+// reference content over those ranges and over the ranges a run actually
+// delivered must agree byte-for-byte.
+
+// refByte is the reference file's content at offset i: cheap, aperiodic
+// over every block size in use, and sensitive to both position bits.
+func refByte(i int64) byte { return byte(i ^ (i >> 7) ^ 251*i>>13) }
+
+// contentDigest hashes the reference content over the given ranges, in
+// order — the digest of the bytes a node would hold after these reads.
+func contentDigest(ranges []pfs.Delivery) uint64 {
+	const prime = 1099511628211
+	h := pfs.DeliveryHashSeed
+	for _, r := range ranges {
+		for i := r.Off; i < r.Off+r.N; i++ {
+			h ^= uint64(refByte(i))
+			h *= prime
+		}
+	}
+	return h
+}
+
+// staticAssignment reports whether the spec's per-node read sequence is a
+// pure function of the spec (offsets independent of run timing). Only the
+// unordered shared-pointer modes fail this: their region claims depend on
+// token arrival order.
+func staticAssignment(spec workload.Spec) bool {
+	if spec.SeparateFiles {
+		return true
+	}
+	switch spec.Mode {
+	case pfs.MUnix, pfs.MLog:
+		return false
+	default:
+		return true
+	}
+}
+
+// expectedDeliveries computes the reference read sequence for one node
+// under a statically-assigned spec: exactly the (offset, length) ranges
+// the PFS must deliver, in order. Returns nil for specs that are not
+// statically assigned.
+func expectedDeliveries(spec workload.Spec, parties int, rank int) []pfs.Delivery {
+	if !staticAssignment(spec) {
+		return nil
+	}
+	req := spec.RequestSize
+	size := spec.FileSize
+	var out []pfs.Delivery
+	emit := func(off int64) bool {
+		if off >= size {
+			return false
+		}
+		n := req
+		if off+n > size {
+			n = size - off
+		}
+		out = append(out, pfs.Delivery{Off: off, N: n})
+		return true
+	}
+
+	switch {
+	case spec.SeparateFiles:
+		// Each node scans its own share-sized file from the start.
+		share := size / int64(parties)
+		for off := int64(0); off < share; off += req {
+			n := req
+			if off+n > share {
+				n = share - off
+			}
+			out = append(out, pfs.Delivery{Off: off, N: n})
+		}
+
+	case spec.Mode == pfs.MRecord:
+		for r := int64(0); emit((r*int64(parties) + int64(rank)) * req); r++ {
+		}
+
+	case spec.Mode == pfs.MSync:
+		// Rank prefix-sum with uniform sizes: rank's slice of each round.
+		for r := int64(0); emit(r*int64(parties)*req + int64(rank)*req); r++ {
+		}
+
+	case spec.Mode == pfs.MGlobal:
+		// Every party reads every record (rank 0 reads, the rest receive
+		// the broadcast) — the shared pointer advances one record a round.
+		for off := int64(0); emit(off); off += req {
+		}
+
+	default: // M_ASYNC patterns
+		switch spec.Pattern {
+		case workload.Interleaved:
+			for r := int64(0); emit((r*int64(parties) + int64(rank)) * req); r++ {
+			}
+		case workload.Partitioned:
+			share := size / int64(parties)
+			start := int64(rank) * share
+			for off := start; off < start+share; off += req {
+				emit(off)
+			}
+		case workload.Random:
+			rng := workload.PatternRNG(spec, rank)
+			records := size / req / int64(parties)
+			maxRec := size / req
+			for i := int64(0); i < records; i++ {
+				off := rng.Int63n(maxRec) * req
+				if off+req > size {
+					off = size - req
+				}
+				emit(off)
+			}
+		case workload.Strided:
+			stride := int64(spec.Stride)
+			if stride < 1 {
+				stride = 1
+			}
+			for r := int64(0); emit((r*int64(parties)*stride + int64(rank)*stride) * req); r++ {
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package simcheck is the repository's deterministic-simulation checker:
+// a seeded random scenario generator plus a set of invariant oracles run
+// over every generated scenario. Each seed expands to one fully-specified
+// machine + workload configuration; the oracles then run the simulation
+// several times (twice identically, once without prefetching, once with a
+// longer compute delay) and cross-check the runs:
+//
+//   - determinism: same seed ⇒ bit-identical result fingerprints and
+//     trace digests;
+//   - data correctness: the byte ranges delivered to every node with
+//     prefetching on are exactly the ranges delivered with it off, and —
+//     for the statically-assigned access patterns — exactly what a
+//     trivial in-memory reference file model says they must be;
+//   - conservation: bytes delivered = bytes read over the fast path =
+//     bytes leaving the I/O nodes, and the prefetcher's hit/wait/miss
+//     counters sum to the read count;
+//   - sanity: positive elapsed time, no residual non-daemon processes,
+//     monotone elapsed time in the compute delay.
+//
+// Any failure carries its seed; `go run ./cmd/simcheck -seed N -v`
+// replays that exact scenario.
+package simcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scenario is one fully-specified check case: everything needed to build
+// the machine and drive the workload, derived purely from Seed.
+type Scenario struct {
+	Seed int64
+	Cfg  machine.Config
+	Spec workload.Spec
+
+	// Faulty marks scenarios with disk fault injection armed. Faults make
+	// end-to-end success (and thus the byte-accounting oracles) dependent
+	// on which requests die, so only the determinism and basic sanity
+	// oracles run on them.
+	Faulty bool
+}
+
+// Generate expands a seed into a scenario. The same seed always yields
+// the same scenario; different seeds explore machine shapes, stripe
+// layouts, I/O modes, access patterns, request sizes, compute delays,
+// prefetch configurations, and fault injection.
+func Generate(seed int64) Scenario {
+	// Decorrelate neighbouring seeds without losing replayability: the
+	// scenario is a pure function of the seed either way.
+	rng := rand.New(rand.NewSource(seed*6364136223846793005 + 1442695040888963407))
+
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = pick(rng, 1, 2, 2, 3, 4, 4, 8)
+	cfg.IONodes = pick(rng, 1, 2, 2, 4, 4)
+	cfg.ArrayMembers = pick(rng, 1, 2, 4)
+	cfg.UFS.BlockSize = pick64(rng, 16<<10, 64<<10, 64<<10)
+	cfg.UFS.Seed = seed
+
+	req := pick64(rng, 8<<10, 16<<10, 32<<10, 64<<10)
+	rounds := int64(2 + rng.Intn(7)) // reads per node in a full pass
+	spec := workload.Spec{
+		File:        "simcheck",
+		FileSize:    int64(cfg.ComputeNodes) * req * rounds,
+		RequestSize: req,
+		// Divisor-friendly sizes keep every pattern an exact pass, which
+		// the coverage oracle depends on.
+		ComputeDelay:     pick(rng, 0, 0, sim.Time(2*sim.Millisecond), sim.Time(10*sim.Millisecond), sim.Time(40*sim.Millisecond)),
+		StripeUnit:       pick64(rng, 0, 0, 8<<10, 32<<10, 128<<10),
+		Seed:             seed,
+		RecordDeliveries: true,
+	}
+	if g := rng.Intn(cfg.IONodes + 2); g <= cfg.IONodes && g > 0 {
+		spec.StripeGroup = g
+	}
+
+	// Mode and pattern.
+	switch rng.Intn(8) {
+	case 0:
+		spec.Mode = pfs.MUnix
+	case 1:
+		spec.Mode = pfs.MLog
+	case 2:
+		spec.Mode = pfs.MSync
+	case 3, 4:
+		spec.Mode = pfs.MRecord
+	case 5:
+		spec.Mode = pfs.MGlobal
+	case 6:
+		spec.Mode = pfs.MAsync
+		spec.Pattern = workload.Pattern(rng.Intn(4))
+		spec.Stride = 2 + rng.Intn(3)
+	default:
+		spec.Mode = pfs.MAsync
+		spec.SeparateFiles = true
+	}
+
+	// Prefetch placement: the compute-node prototype most of the time,
+	// occasionally the server-side hints on a buffered mount, sometimes
+	// neither (the baseline still exercises determinism and conservation).
+	switch r := rng.Intn(10); {
+	case r < 6:
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Depth = 1 + rng.Intn(3)
+		pcfg.MaxBuffers = 2 + rng.Intn(7)
+		pcfg.Adaptive = rng.Intn(5) == 0
+		pcfg.FreeCopy = rng.Intn(5) == 0
+		spec.Prefetch = &pcfg
+	case r < 7:
+		sscfg := prefetch.DefaultServerSideConfig()
+		sscfg.Depth = 1 + rng.Intn(2)
+		spec.ServerSide = &sscfg
+		spec.Buffered = true
+	}
+
+	sc := Scenario{Seed: seed, Cfg: cfg, Spec: spec}
+
+	// Fault injection on ~1 in 8 seeds, reusing the machine's per-disk
+	// deterministic fault streams.
+	if rng.Intn(8) == 0 {
+		sc.Cfg.DiskFaultRate = 0.01 + 0.1*rng.Float64()
+		sc.Cfg.FaultSeed = seed
+		sc.Faulty = true
+	}
+	return sc
+}
+
+// Label renders the scenario compactly for reports.
+func (sc Scenario) Label() string {
+	l := fmt.Sprintf("%dc/%dio %v %s req=%dK file=%dK delay=%v",
+		sc.Cfg.ComputeNodes, sc.Cfg.IONodes, sc.Spec.Mode, patternLabel(sc.Spec),
+		sc.Spec.RequestSize>>10, sc.Spec.FileSize>>10, sc.Spec.ComputeDelay)
+	switch {
+	case sc.Spec.Prefetch != nil:
+		l += fmt.Sprintf(" pf(depth=%d,buf=%d", sc.Spec.Prefetch.Depth, sc.Spec.Prefetch.MaxBuffers)
+		if sc.Spec.Prefetch.Adaptive {
+			l += ",adaptive"
+		}
+		if sc.Spec.Prefetch.FreeCopy {
+			l += ",freecopy"
+		}
+		l += ")"
+	case sc.Spec.ServerSide != nil:
+		l += fmt.Sprintf(" serverside(depth=%d)", sc.Spec.ServerSide.Depth)
+	}
+	if sc.Faulty {
+		l += fmt.Sprintf(" faults=%.3f", sc.Cfg.DiskFaultRate)
+	}
+	return l
+}
+
+func patternLabel(spec workload.Spec) string {
+	if spec.SeparateFiles {
+		return "separate-files"
+	}
+	if spec.Mode != pfs.MAsync {
+		return "interleaved"
+	}
+	return spec.Pattern.String()
+}
+
+// pick returns a uniformly random element (repeats weight the draw).
+func pick[T any](rng *rand.Rand, choices ...T) T {
+	return choices[rng.Intn(len(choices))]
+}
+
+func pick64(rng *rand.Rand, choices ...int64) int64 { return pick(rng, choices...) }

@@ -1,0 +1,130 @@
+package simcheck
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Report is the outcome of checking one seed.
+type Report struct {
+	Seed     int64
+	Scenario Scenario
+	Failures []Failure
+
+	// Replay evidence for -v output (zero when the base run errored).
+	Elapsed     sim.Time
+	Bandwidth   float64
+	ReadCalls   int64
+	Fingerprint uint64
+	TraceDigest uint64
+	RunErr      error // base run's error (expected only on Faulty scenarios)
+}
+
+// OK reports whether every oracle passed.
+func (r Report) OK() bool { return len(r.Failures) == 0 }
+
+// monotoneDelayBump is added to the compute delay for the monotonicity
+// rerun. It is large relative to every per-request service time in the
+// model so that genuine slowdown dominates any phase effect (a slightly
+// shifted arrival pattern can change disk contention either way; +50 ms
+// per read cannot make a run faster unless time accounting is broken).
+const monotoneDelayBump = 50 * sim.Millisecond
+
+// Check expands the seed into a scenario and runs every applicable
+// oracle over it. It simulates the scenario up to four times: twice
+// identically (determinism), once without prefetching (data
+// correctness), and once with a longer compute delay (monotonicity).
+func Check(seed int64) Report {
+	sc := Generate(seed)
+	rep := Report{Seed: seed, Scenario: sc}
+
+	base := execute(sc.Cfg, sc.Spec)
+	again := execute(sc.Cfg, sc.Spec)
+	rep.Failures = append(rep.Failures, checkDeterminism(seed, base, again)...)
+
+	if base.err != nil {
+		rep.RunErr = base.err
+		if !sc.Faulty {
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Oracle: "sanity",
+				Detail: fmt.Sprintf("fault-free scenario failed: %v", base.err)})
+		}
+		return rep
+	}
+	rep.Elapsed = base.res.Elapsed
+	rep.Bandwidth = base.res.Bandwidth
+	rep.ReadCalls = base.res.ReadCalls
+	rep.Fingerprint = base.res.Fingerprint()
+	rep.TraceDigest = base.tl.Digest()
+
+	rep.Failures = append(rep.Failures, checkSanity(seed, sc, base)...)
+
+	if !sc.Faulty {
+		rep.Failures = append(rep.Failures, checkConservation(seed, sc, base)...)
+
+		// Data correctness: against the prefetch-off twin when a prefetch
+		// placement is configured, and always against the reference file
+		// model (checkData compares a run to itself when plain == base,
+		// which still exercises the analytic expected-sequence check).
+		plain := base
+		if sc.Spec.Prefetch != nil || sc.Spec.ServerSide != nil {
+			spec := sc.Spec
+			spec.Prefetch = nil
+			spec.ServerSide = nil
+			plain = execute(sc.Cfg, spec)
+		}
+		rep.Failures = append(rep.Failures, checkData(seed, sc, base, plain)...)
+
+		// Monotonicity: more computation between reads can never make the
+		// job finish earlier — unless a prefetcher is installed, in which
+		// case longer compute gaps are exactly what lets read-ahead overlap
+		// I/O with computation (the paper's central effect), and elapsed
+		// time may legitimately drop. Only the overlap-free baseline is
+		// required to be monotone.
+		if sc.Spec.Prefetch == nil && sc.Spec.ServerSide == nil {
+			spec := sc.Spec
+			spec.ComputeDelay += monotoneDelayBump
+			rep.Failures = append(rep.Failures, checkMonotone(seed, base, execute(sc.Cfg, spec))...)
+		}
+	}
+	return rep
+}
+
+// CheckRange checks seeds [start, start+n), reporting each failure to
+// onFail as it is found, and returns the failing reports. If stopFirst
+// is set, checking stops at the first seed with any failure.
+func CheckRange(start int64, n int, stopFirst bool, onFail func(Report)) []Report {
+	var failed []Report
+	for i := 0; i < n; i++ {
+		rep := Check(start + int64(i))
+		if !rep.OK() {
+			failed = append(failed, rep)
+			if onFail != nil {
+				onFail(rep)
+			}
+			if stopFirst {
+				break
+			}
+		}
+	}
+	return failed
+}
+
+// Describe writes a human-readable account of the report: the scenario,
+// run evidence, and every failure with its replay command.
+func (r Report) Describe(w io.Writer) {
+	fmt.Fprintf(w, "seed %d: %s\n", r.Seed, r.Scenario.Label())
+	if r.RunErr != nil {
+		fmt.Fprintf(w, "  run error: %v\n", r.RunErr)
+	} else {
+		fmt.Fprintf(w, "  elapsed=%v bandwidth=%.2fMB/s reads=%d fingerprint=%016x trace=%016x\n",
+			r.Elapsed, r.Bandwidth, r.ReadCalls, r.Fingerprint, r.TraceDigest)
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  FAIL [%s] %s\n", f.Oracle, f.Detail)
+	}
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(w, "  replay: go run ./cmd/simcheck -seed %d -v\n", r.Seed)
+	}
+}

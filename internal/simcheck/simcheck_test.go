@@ -1,0 +1,190 @@
+package simcheck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestSweep is the in-tree smoke sweep: a block of seeds must pass every
+// oracle. cmd/simcheck covers wider ranges; this keeps `go test ./...`
+// honest without dominating its runtime.
+func TestSweep(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep := Check(seed)
+		if !rep.OK() {
+			var b strings.Builder
+			rep.Describe(&b)
+			t.Errorf("seed %d failed:\n%s", seed, b.String())
+		}
+	}
+}
+
+// TestGenerateDeterministic: a seed must expand to the identical scenario
+// every time, and nearby seeds must not collapse to one scenario.
+func TestGenerateDeterministic(t *testing.T) {
+	labels := make(map[string]bool)
+	for seed := int64(0); seed < 40; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		labels[a.Label()] = true
+	}
+	if len(labels) < 20 {
+		t.Errorf("40 seeds produced only %d distinct scenarios", len(labels))
+	}
+}
+
+// TestDeterminismOracleDetects: two runs of different scenarios must trip
+// the determinism comparison (guards against a digest that hashes
+// nothing).
+func TestDeterminismOracleDetects(t *testing.T) {
+	a, b := Generate(3), Generate(4)
+	ra := execute(a.Cfg, a.Spec)
+	rb := execute(b.Cfg, b.Spec)
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("runs failed: %v / %v", ra.err, rb.err)
+	}
+	if fs := checkDeterminism(3, ra, rb); len(fs) == 0 {
+		t.Error("determinism oracle did not distinguish two different scenarios")
+	}
+}
+
+// TestMonotoneOracleDetects: a fabricated speedup must be flagged.
+func TestMonotoneOracleDetects(t *testing.T) {
+	base := run{res: &workload.Result{Elapsed: 2 * sim.Second}}
+	slower := run{res: &workload.Result{Elapsed: 1 * sim.Second}}
+	if fs := checkMonotone(1, base, slower); len(fs) == 0 {
+		t.Error("monotonicity oracle accepted elapsed decreasing with added delay")
+	}
+	if fs := checkMonotone(1, base, run{res: &workload.Result{Elapsed: 3 * sim.Second}}); len(fs) != 0 {
+		t.Errorf("monotonicity oracle rejected a legitimate slowdown: %v", fs)
+	}
+}
+
+// TestExactCover exercises the tiling checker's defect taxonomy.
+func TestExactCover(t *testing.T) {
+	d := func(offs ...[2]int64) []pfs.Delivery {
+		out := make([]pfs.Delivery, len(offs))
+		for i, o := range offs {
+			out[i] = pfs.Delivery{Off: o[0], N: o[1]}
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		ranges []pfs.Delivery
+		size   int64
+		want   string // substring of the defect, "" for pass
+	}{
+		{"exact", d([2]int64{0, 4}, [2]int64{4, 4}), 8, ""},
+		{"exact-unordered", d([2]int64{4, 4}, [2]int64{0, 4}), 8, ""},
+		{"gap", d([2]int64{0, 4}, [2]int64{8, 4}), 12, "gap"},
+		{"overlap", d([2]int64{0, 4}, [2]int64{2, 4}), 6, "overlap"},
+		{"duplicate", d([2]int64{0, 4}, [2]int64{0, 4}), 4, "overlap"},
+		{"short", d([2]int64{0, 4}), 8, "ends at 4"},
+		{"empty-nonzero", nil, 8, "ends at 0"},
+		{"empty-zero", nil, 0, ""},
+	}
+	for _, tc := range cases {
+		got := exactCover(tc.ranges, tc.size)
+		if tc.want == "" && got != "" {
+			t.Errorf("%s: unexpected defect %q", tc.name, got)
+		}
+		if tc.want != "" && !strings.Contains(got, tc.want) {
+			t.Errorf("%s: defect %q does not mention %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestExpectedDeliveriesMatchRuns: the analytic reference sequences must
+// agree range-for-range with what the simulator actually delivers, for
+// every statically-assigned mode/pattern.
+func TestExpectedDeliveriesMatchRuns(t *testing.T) {
+	base := func() workload.Spec {
+		return workload.Spec{
+			File:             "ref",
+			FileSize:         512 << 10,
+			RequestSize:      32 << 10,
+			Seed:             7,
+			RecordDeliveries: true,
+		}
+	}
+	cases := []struct {
+		name string
+		tune func(*workload.Spec)
+	}{
+		{"m_record", func(s *workload.Spec) { s.Mode = pfs.MRecord }},
+		{"m_sync", func(s *workload.Spec) { s.Mode = pfs.MSync }},
+		{"m_global", func(s *workload.Spec) { s.Mode = pfs.MGlobal }},
+		{"async-interleaved", func(s *workload.Spec) { s.Mode = pfs.MAsync; s.Pattern = workload.Interleaved }},
+		{"async-partitioned", func(s *workload.Spec) { s.Mode = pfs.MAsync; s.Pattern = workload.Partitioned }},
+		{"async-random", func(s *workload.Spec) { s.Mode = pfs.MAsync; s.Pattern = workload.Random }},
+		{"async-strided", func(s *workload.Spec) { s.Mode = pfs.MAsync; s.Pattern = workload.Strided; s.Stride = 2 }},
+		{"separate-files", func(s *workload.Spec) { s.Mode = pfs.MAsync; s.SeparateFiles = true }},
+	}
+	sc := Generate(1)
+	cfg := sc.Cfg
+	cfg.ComputeNodes = 4
+	cfg.IONodes = 2
+	cfg.DiskFaultRate = 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base()
+			tc.tune(&spec)
+			r := execute(cfg, spec)
+			if r.err != nil {
+				t.Fatalf("run: %v", r.err)
+			}
+			for rank := 0; rank < cfg.ComputeNodes; rank++ {
+				want := expectedDeliveries(spec, cfg.ComputeNodes, rank)
+				got := r.res.Deliveries[rank]
+				if len(got) != len(want) {
+					t.Fatalf("node %d: %d delivered ranges, reference says %d", rank, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("node %d read %d: delivered [%d,+%d), reference [%d,+%d)",
+							rank, i, got[i].Off, got[i].N, want[i].Off, want[i].N)
+					}
+				}
+				if cd, wd := contentDigest(got), contentDigest(want); cd != wd {
+					t.Fatalf("node %d: content digest %016x, reference %016x", rank, cd, wd)
+				}
+			}
+		})
+	}
+}
+
+// TestDataOracleDetectsCorruption: a perturbed delivery list (one byte of
+// one range shifted — the wrong-buffer failure shape) must be flagged.
+func TestDataOracleDetectsCorruption(t *testing.T) {
+	sc := Generate(1)
+	sc.Spec.Mode = pfs.MRecord
+	sc.Spec.SeparateFiles = false
+	sc.Spec.Prefetch = nil
+	sc.Spec.ServerSide = nil
+	sc.Faulty = false
+	sc.Cfg.DiskFaultRate = 0
+	r := execute(sc.Cfg, sc.Spec)
+	if r.err != nil {
+		t.Fatalf("run: %v", r.err)
+	}
+	if fs := checkData(sc.Seed, sc, r, r); len(fs) != 0 {
+		t.Fatalf("clean run flagged: %v", fs)
+	}
+	// Corrupt node 0's first delivered range as a wrong-buffer hit would.
+	r.res.Deliveries[0][0].Off += sc.Spec.RequestSize
+	if fs := checkData(sc.Seed, sc, r, r); len(fs) == 0 {
+		t.Error("data oracle accepted a corrupted delivery range")
+	}
+}

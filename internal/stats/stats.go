@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -105,6 +106,29 @@ func (h *Histogram) Stddev() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n))
+}
+
+// Fingerprint digests the sample multiset (FNV-64a over the sorted raw
+// bit patterns). Two histograms fed the same samples — in any order —
+// fingerprint equal; any numeric difference, however small, does not.
+// Sorting makes the digest independent of observation order, which the
+// workload layer does not guarantee across runs (per-node histograms are
+// merged in node order, but samples within a node interleave by time).
+func (h *Histogram) Fingerprint() uint64 {
+	h.sort()
+	d := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		d.Write(buf[:])
+	}
+	put(uint64(len(h.samples)))
+	for _, v := range h.samples {
+		put(math.Float64bits(v))
+	}
+	return d.Sum64()
 }
 
 // Each calls fn for every recorded sample (in unspecified order).

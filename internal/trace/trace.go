@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"repro/internal/sim"
@@ -102,6 +103,33 @@ func (l *Log) Count(k Kind) int {
 		}
 	}
 	return n
+}
+
+// WriteCanonical renders the timeline in the canonical replay format:
+// one event per line as tab-separated raw fields (nanosecond time, kind
+// number, node, file, offset, length), terminated by a "dropped" footer.
+// Unlike WriteText the encoding has no adaptive units or column padding,
+// so it is stable across formatting changes — two runs of a simulation
+// are byte-identical here if and only if they traced the same events.
+func (l *Log) WriteCanonical(w io.Writer) error {
+	for _, e := range l.events {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%d\n",
+			int64(e.T), int(e.Kind), e.Node, e.File, e.Off, e.N); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "dropped\t%d\n", l.dropped)
+	return err
+}
+
+// Digest hashes the canonical serialization (FNV-64a). Equal digests mean
+// the logs retained identical event sequences and drop counts; this is
+// the replayable fingerprint simcheck compares across runs of one seed.
+func (l *Log) Digest() uint64 {
+	h := fnv.New64a()
+	// WriteCanonical cannot fail on a hash.Hash.
+	l.WriteCanonical(h) //nolint:errcheck
+	return h.Sum64()
 }
 
 // WriteText renders the timeline, one event per line.

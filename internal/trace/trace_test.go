@@ -8,13 +8,67 @@ import (
 )
 
 func TestKindStrings(t *testing.T) {
-	for k := ReadStart; k <= PrefetchMiss; k++ {
-		if strings.HasPrefix(k.String(), "Kind(") {
-			t.Errorf("kind %d has no name", int(k))
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{ReadStart, "read-start"},
+		{ReadEnd, "read-end"},
+		{StripeSend, "stripe-send"},
+		{StripeReply, "stripe-reply"},
+		{PrefetchIssue, "prefetch-issue"},
+		{PrefetchHit, "prefetch-hit"},
+		{PrefetchWait, "prefetch-wait"},
+		{PrefetchMiss, "prefetch-miss"},
+		{Kind(99), "Kind(99)"},
+		{Kind(-1), "Kind(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.kind), got, c.want)
 		}
 	}
-	if Kind(99).String() != "Kind(99)" {
-		t.Fatal("unknown kind formatting wrong")
+	// The canonical format writes kinds by number; a renamed or renumbered
+	// kind must be a conscious change here, not an accident.
+	if PrefetchMiss != 7 {
+		t.Errorf("PrefetchMiss = %d, want 7 (canonical trace encoding)", int(PrefetchMiss))
+	}
+}
+
+func TestWriteCanonicalAndDigest(t *testing.T) {
+	build := func() *Log {
+		l := NewLog(4)
+		l.Add(Event{T: sim.Millisecond, Kind: ReadStart, Node: 1, File: "data", Off: 0, N: 65536})
+		l.Add(Event{T: 2 * sim.Millisecond, Kind: ReadEnd, Node: 1, File: "data", Off: 0, N: 65536})
+		return l
+	}
+	var sb strings.Builder
+	if err := build().WriteCanonical(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "1000000\t0\t1\tdata\t0\t65536\n2000000\t1\t1\tdata\t0\t65536\ndropped\t0\n"
+	if sb.String() != want {
+		t.Fatalf("canonical form:\n%q\nwant:\n%q", sb.String(), want)
+	}
+	if build().Digest() != build().Digest() {
+		t.Fatal("identical logs digest differently")
+	}
+	mutated := build()
+	mutated.Add(Event{T: 3 * sim.Millisecond, Kind: PrefetchHit})
+	if mutated.Digest() == build().Digest() {
+		t.Fatal("digest blind to an extra event")
+	}
+}
+
+func TestDigestCoversDrops(t *testing.T) {
+	// Two logs retaining identical events but with different drop counts
+	// must not digest equal: a truncated trace is not the same history.
+	a, b := NewLog(1), NewLog(1)
+	a.Add(Event{Kind: ReadStart})
+	b.Add(Event{Kind: ReadStart})
+	b.Add(Event{Kind: ReadEnd}) // dropped
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest blind to dropped events")
 	}
 }
 

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// PatternRNG is the single point where randomness enters a workload:
+// every randomized pattern choice draws from a generator seeded by the
+// Spec's own Seed and the node's rank — never from the global math/rand
+// source — so a Spec replays the exact same access sequence on every
+// run. Exported so reference models (internal/simcheck) can regenerate a
+// node's sequence without running the simulator. The rank mixing
+// constant is the FNV-64 prime, keeping per-node streams decorrelated
+// while staying a pure function of (Seed, rank).
+func PatternRNG(s Spec, rank int) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed + int64(rank)*1099511628211))
+}
+
+// Fingerprint digests everything a run measured — timing, byte counts,
+// per-node delivery digests, latency samples, stripe and prefetch
+// counters, and the kernel's terminal state — into one 64-bit value. Two
+// runs of the same Spec on the same machine config must fingerprint
+// equal; this is the determinism oracle's whole-run comparison. (The
+// trace log has its own Digest covering event-by-event history.)
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(r.Elapsed))
+	put(uint64(r.TotalBytes))
+	put(uint64(r.ReadCalls))
+	put(uint64(r.IOBytes))
+	put(math.Float64bits(r.Bandwidth))
+	for _, t := range r.NodeTimes {
+		put(uint64(t))
+	}
+	for _, d := range r.DeliveryDigests {
+		put(d)
+	}
+	put(r.ReadTime.Fingerprint())
+	if r.Machine != nil {
+		put(uint64(r.Machine.FS.StripeRequests))
+		for _, b := range r.Machine.IONodeBytes() {
+			put(uint64(b))
+		}
+		for _, s := range r.Machine.Servers {
+			put(uint64(s.Requests))
+			put(uint64(s.Faults))
+		}
+		put(r.Machine.K.Fingerprint())
+	}
+	if p := r.Prefetch; p != nil {
+		for _, v := range []int64{p.Issued, p.Hits, p.HitsInWait, p.Misses,
+			p.Wasted, p.Skipped, p.Fallbacks, p.Throttled, p.BytesCopied, p.BytesDirect} {
+			put(uint64(v))
+		}
+		put(p.WaitTime.Fingerprint())
+	}
+	if ss := r.ServerSide; ss != nil {
+		put(uint64(ss.Hints))
+		put(uint64(ss.Reads))
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestQuickstartGoldenTrace pins the opening of the quickstart
+// scenario's timeline (the M_RECORD + prefetch run of
+// examples/quickstart, scaled down) against a golden canonical trace.
+// Any change to event ordering, timing constants, or the canonical
+// encoding shows up as a byte diff here; regenerate deliberately with
+//
+//	go test ./internal/workload -run QuickstartGolden -update
+func TestQuickstartGoldenTrace(t *testing.T) {
+	tl := trace.NewLog(120) // the opening 120 events; the rest are counted
+	pcfg := prefetch.DefaultConfig()
+	spec := Spec{
+		File:         "quickstart",
+		FileSize:     1 << 20,
+		RequestSize:  64 << 10,
+		Mode:         pfs.MRecord,
+		ComputeDelay: 50 * sim.Millisecond,
+		Prefetch:     &pcfg,
+		Trace:        tl,
+	}
+	if _, err := Run(cfg4x4(), spec); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := tl.WriteCanonical(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "quickstart.trace")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gl, wl := bytes.Split(got.Bytes(), []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n  got  %s\n  want %s\n(regenerate with -update if intended)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length %d bytes, golden %d (regenerate with -update if intended)", got.Len(), len(want))
+	}
+}

@@ -8,7 +8,6 @@ package workload
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/machine"
 	"repro/internal/pfs"
@@ -66,7 +65,13 @@ type Spec struct {
 	StripeGroup   int     // 0 = all I/O nodes
 	Pattern       Pattern // non-collective modes only; collective modes imply Interleaved
 	Stride        int     // records skipped by Strided (≥1)
-	Seed          int64   // Random pattern seed
+	Seed          int64   // seeds all randomized pattern choices (see Spec.rng)
+
+	// RecordDeliveries keeps each node's full list of delivered byte
+	// ranges on the Result (the digest alone is always kept). simcheck's
+	// coverage oracles need the ranges; normal runs leave this off to
+	// keep memory flat.
+	RecordDeliveries bool
 
 	// Buffered disables Fast Path: reads stage through the I/O node
 	// buffer caches (required for server-side prefetch placement).
@@ -91,6 +96,12 @@ type Result struct {
 	Prefetch   *prefetch.Prefetcher
 	ServerSide *prefetch.ServerSide
 	Machine    *machine.Machine
+
+	// Correctness accounting (see internal/simcheck).
+	ReadCalls       int64            // successful read calls across all nodes
+	IOBytes         int64            // bytes pulled over the stripe fast path by user-facing instances
+	DeliveryDigests []uint64         // per-node digest of delivered ranges, node order
+	Deliveries      [][]pfs.Delivery // per-node delivered ranges (only with Spec.RecordDeliveries)
 }
 
 // Run builds a machine from cfg, lays out the file(s), and drives one
@@ -152,7 +163,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 		og = pfs.NewOpenGroup(m.K, nodes)
 	}
 
-	var files []*pfs.File
+	files := make([]*pfs.File, nodes) // indexed by node rank
 	errs := make([]error, nodes)
 	for i := 0; i < nodes; i++ {
 		i := i
@@ -168,6 +179,9 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 				errs[i] = err
 				return
 			}
+			if spec.RecordDeliveries {
+				f.EnableDeliveryLog()
+			}
 			if pf != nil {
 				pf.Attach(f)
 			}
@@ -176,7 +190,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 			}
 			errs[i] = drive(p, f, spec, i, nodes)
 			res.NodeTimes[i] = p.Now()
-			files = append(files, f)
+			files[i] = f
 			if err := f.Close(); err != nil && errs[i] == nil {
 				errs[i] = err
 			}
@@ -190,8 +204,21 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("workload: node %d: %w", i, err)
 		}
 	}
-	for _, f := range files {
+	res.DeliveryDigests = make([]uint64, nodes)
+	if spec.RecordDeliveries {
+		res.Deliveries = make([][]pfs.Delivery, nodes)
+	}
+	for i, f := range files {
+		if f == nil {
+			continue
+		}
 		res.TotalBytes += f.BytesRead
+		res.ReadCalls += f.ReadCalls
+		res.IOBytes += f.IOBytes
+		res.DeliveryDigests[i] = f.DeliveryDigest()
+		if spec.RecordDeliveries {
+			res.Deliveries[i] = f.Deliveries()
+		}
 		f.ReadTime.Each(res.ReadTime.Observe)
 	}
 	for _, t := range res.NodeTimes {
@@ -286,7 +313,7 @@ func driveAsync(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
 		}
 		return nil
 	case Random:
-		rng := rand.New(rand.NewSource(spec.Seed + int64(rank)*1099511628211))
+		rng := PatternRNG(spec, rank)
 		records := size / req / int64(parties)
 		maxRec := size / req
 		for i := int64(0); i < records; i++ {
