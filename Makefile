@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-short simcheck experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates BENCH_sweep.json: the parallel-sweep speedup and the
+# DES hot-path micro-benchmarks, measured on THIS machine. Run it on the
+# hardware you are quoting numbers for — the JSON records num_cpu, and a
+# 1-core box can only show ~1x sweep speedup. Commit the refreshed file
+# together with any change that moves the numbers.
+bench:
+	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+
+# bench-short is the CI smoke variant: one pass over a small grid plus
+# the package micro-benchmarks at -benchtime=1x, just to prove the
+# benchmarks still compile and run.
+bench-short:
+	$(GO) run ./cmd/benchsweep -short -o /dev/null
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/
+
+simcheck:
+	$(GO) run ./cmd/simcheck -seeds 100
+
+experiments:
+	$(GO) run ./cmd/experiments -quick

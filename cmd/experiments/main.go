@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-run id1,id2,...] [-quick] [-csv] [-list]
+//	experiments [-run id1,id2,...] [-quick] [-csv] [-list] [-parallel N]
 //
 // With no -run flag every experiment runs, in paper order. -quick uses a
 // scaled-down machine for a fast smoke pass; -csv emits CSV instead of
-// aligned tables.
+// aligned tables. -parallel evaluates each experiment's independent grid
+// cells across N workers (default: all CPUs); tables are bit-identical
+// at any width, only wall-clock time changes.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +31,7 @@ func main() {
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the figures")
 	outDir := flag.String("o", "", "also write each experiment's table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for grid cells (1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +45,7 @@ func main() {
 	if *quick {
 		scale = experiments.QuickScale()
 	}
+	scale.Parallel = *parallel
 
 	var todo []experiments.Experiment
 	if *runIDs == "" {

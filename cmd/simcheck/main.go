@@ -7,8 +7,10 @@
 //
 //	simcheck -seeds 100
 //
-// Any failure prints the offending seed and oracle; replay exactly that
-// scenario, with full evidence, via:
+// Seeds are independent, so the sweep fans out across -parallel workers
+// (default: all CPUs); output and exit status are identical at any
+// width. Any failure prints the offending seed and oracle; replay
+// exactly that scenario, with full evidence, via:
 //
 //	simcheck -seed N -v
 package main
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/simcheck"
 )
@@ -28,6 +31,7 @@ func main() {
 		seed      = flag.Int64("seed", -1, "check exactly this one seed (replay mode)")
 		verbose   = flag.Bool("v", false, "describe every checked scenario, not just failures")
 		keepGoing = flag.Bool("keep-going", false, "sweep past the first failing seed")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker-pool width for the sweep (1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,21 +49,13 @@ func main() {
 		return
 	}
 
-	failed := 0
-	for i := 0; i < *seeds; i++ {
-		rep := simcheck.Check(*start + int64(i))
+	failed := simcheck.CheckRange(*start, *seeds, *parallel, !*keepGoing, func(rep simcheck.Report) {
 		if *verbose || !rep.OK() {
 			rep.Describe(os.Stdout)
 		}
-		if !rep.OK() {
-			failed++
-			if !*keepGoing {
-				break
-			}
-		}
-	}
-	if failed > 0 {
-		fmt.Printf("simcheck: %d failing seed(s)\n", failed)
+	})
+	if len(failed) > 0 {
+		fmt.Printf("simcheck: %d failing seed(s)\n", len(failed))
 		os.Exit(1)
 	}
 	fmt.Printf("simcheck: %d seeds ok (start=%d)\n", *seeds, *start)

@@ -17,23 +17,32 @@ import (
 func AblationDepth(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: prefetch depth (M_RECORD, 64KB requests)",
 		"Depth", "Delay (s)", "Bandwidth (MB/s)", "Hit rate", "Waited hits")
-	for _, depth := range []int{1, 2, 4, 8} {
-		for _, delay := range s.Delays {
-			pcfg := prefetch.DefaultConfig()
-			pcfg.Depth = depth
-			pcfg.MaxBuffers = 2 * depth
-			res, err := workload.Run(s.machineConfig(), workload.Spec{
-				FileSize:     s.FileBytes,
-				RequestSize:  64 << 10,
-				Mode:         pfs.MRecord,
-				ComputeDelay: delay,
-				Prefetch:     &pcfg,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ablation-depth %d/%v: %w", depth, delay, err)
-			}
-			t.AddRow(depth, delay.Seconds(), res.Bandwidth, res.Prefetch.HitRate(), res.Prefetch.HitsInWait)
+	depths := []int{1, 2, 4, 8}
+	results, err := runCells(s, len(depths)*len(s.Delays), func(i int) (*workload.Result, error) {
+		depth := depths[i/len(s.Delays)]
+		delay := s.Delays[i%len(s.Delays)]
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Depth = depth
+		pcfg.MaxBuffers = 2 * depth
+		res, err := workload.Run(s.machineConfig(), workload.Spec{
+			FileSize:     s.FileBytes,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MRecord,
+			ComputeDelay: delay,
+			Prefetch:     &pcfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-depth %d/%v: %w", depth, delay, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		depth := depths[i/len(s.Delays)]
+		delay := s.Delays[i%len(s.Delays)]
+		t.AddRow(depth, delay.Seconds(), res.Bandwidth, res.Prefetch.HitRate(), res.Prefetch.HitsInWait)
 	}
 	return t, nil
 }
@@ -43,27 +52,35 @@ func AblationDepth(s Scale) (*stats.Table, error) {
 func AblationCopy(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: hit-path copy cost (M_RECORD, delay 0)",
 		"Request (KB)", "No prefetching (MB/s)", "Prefetching (MB/s)", "Prefetching, free copy (MB/s)")
-	for _, req := range requestSizes {
-		fileSize := req * int64(s.Compute) * s.Rounds
-		spec := workload.Spec{FileSize: fileSize, RequestSize: req, Mode: pfs.MRecord}
-		plain, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-copy plain/%d: %w", req, err)
+	variants := []string{"plain", "copy", "free"}
+	bws, err := runCells(s, len(requestSizes)*len(variants), func(i int) (float64, error) {
+		req := requestSizes[i/len(variants)]
+		variant := variants[i%len(variants)]
+		spec := workload.Spec{
+			FileSize:    req * int64(s.Compute) * s.Rounds,
+			RequestSize: req,
+			Mode:        pfs.MRecord,
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		copying, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-copy copy/%d: %w", req, err)
+		switch variant {
+		case "copy":
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+		case "free":
+			pcfg := prefetch.DefaultConfig()
+			pcfg.FreeCopy = true
+			spec.Prefetch = &pcfg
 		}
-		free := prefetch.DefaultConfig()
-		free.FreeCopy = true
-		spec.Prefetch = &free
-		freed, err := workload.Run(s.machineConfig(), spec)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-copy free/%d: %w", req, err)
+			return 0, fmt.Errorf("ablation-copy %s/%d: %w", variant, req, err)
 		}
-		t.AddRow(req>>10, plain.Bandwidth, copying.Bandwidth, freed.Bandwidth)
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
+		t.AddRow(req>>10, bws[3*r], bws[3*r+1], bws[3*r+2])
 	}
 	return t, nil
 }
@@ -75,48 +92,38 @@ func AblationPlacement(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: prefetch placement (M_RECORD, 64KB requests)",
 		"Delay (s)", "FastPath plain", "FastPath + client prefetch",
 		"Buffered plain", "Buffered + server hints")
-	for _, delay := range s.Delays {
-		base := workload.Spec{
+	variants := []string{"fp-plain", "fp-client", "buf-plain", "buf-server"}
+	bws, err := runCells(s, len(s.Delays)*len(variants), func(i int) (float64, error) {
+		delay := s.Delays[i/len(variants)]
+		variant := variants[i%len(variants)]
+		spec := workload.Spec{
 			FileSize:     s.FileBytes / 4,
 			RequestSize:  64 << 10,
 			Mode:         pfs.MRecord,
 			ComputeDelay: delay,
 		}
-		row := []any{delay.Seconds()}
-
-		fpPlain, err := workload.Run(s.machineConfig(), base)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-placement fp-plain/%v: %w", delay, err)
+		switch variant {
+		case "fp-client":
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+		case "buf-plain":
+			spec.Buffered = true
+		case "buf-server":
+			spec.Buffered = true
+			scfg := prefetch.DefaultServerSideConfig()
+			spec.ServerSide = &scfg
 		}
-		row = append(row, fpPlain.Bandwidth)
-
-		client := base
-		pcfg := prefetch.DefaultConfig()
-		client.Prefetch = &pcfg
-		fpClient, err := workload.Run(s.machineConfig(), client)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-placement fp-client/%v: %w", delay, err)
+			return 0, fmt.Errorf("ablation-placement %s/%v: %w", variant, delay, err)
 		}
-		row = append(row, fpClient.Bandwidth)
-
-		buf := base
-		buf.Buffered = true
-		bufPlain, err := workload.Run(s.machineConfig(), buf)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-placement buf-plain/%v: %w", delay, err)
-		}
-		row = append(row, bufPlain.Bandwidth)
-
-		server := buf
-		scfg := prefetch.DefaultServerSideConfig()
-		server.ServerSide = &scfg
-		bufServer, err := workload.Run(s.machineConfig(), server)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-placement buf-server/%v: %w", delay, err)
-		}
-		row = append(row, bufServer.Bandwidth)
-
-		t.AddRow(row...)
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, delay := range s.Delays {
+		t.AddRow(delay.Seconds(), bws[4*r], bws[4*r+1], bws[4*r+2], bws[4*r+3])
 	}
 	return t, nil
 }
@@ -135,7 +142,8 @@ func AblationPattern(s Scale) (*stats.Table, error) {
 		{workload.Strided, 4},
 		{workload.Random, 0},
 	}
-	for _, pat := range patterns {
+	results, err := runCells(s, len(patterns)*2, func(i int) (*workload.Result, error) {
+		pat := patterns[i/2]
 		spec := workload.Spec{
 			FileSize:     s.FileBytes,
 			RequestSize:  64 << 10,
@@ -145,16 +153,23 @@ func AblationPattern(s Scale) (*stats.Table, error) {
 			Seed:         17,
 			ComputeDelay: 50 * sim.Millisecond,
 		}
-		plain, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ablation-pattern plain/%v: %w", pat.p, err)
+		variant := "plain"
+		if i%2 == 1 {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			variant = "prefetch"
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(s.machineConfig(), spec)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("ablation-pattern prefetch/%v: %w", pat.p, err)
+			return nil, fmt.Errorf("ablation-pattern %s/%v: %w", variant, pat.p, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, pat := range patterns {
+		plain, fetched := results[2*r], results[2*r+1]
 		t.AddRow(pat.p.String(), plain.Bandwidth, fetched.Bandwidth,
 			fetched.Prefetch.HitRate(), fetched.Prefetch.Wasted)
 	}
@@ -181,24 +196,33 @@ func AblationPredictor(s Scale) (*stats.Table, error) {
 		func() prefetch.Predictor { return prefetch.SequentialPredictor{} },
 		func() prefetch.Predictor { return prefetch.NewStridePredictor(2) },
 	}
-	for _, pat := range patterns {
+	results, err := runCells(s, len(patterns)*len(predictors), func(i int) (*workload.Result, error) {
+		pat := patterns[i/len(predictors)]
+		mk := predictors[i%len(predictors)]
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Predictor = mk()
+		res, err := workload.Run(s.machineConfig(), workload.Spec{
+			FileSize:     s.FileBytes / 4,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MAsync,
+			Pattern:      pat.p,
+			Stride:       pat.stride,
+			Seed:         17,
+			ComputeDelay: 50 * sim.Millisecond,
+			Prefetch:     &pcfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-predictor %v: %w", pat.p, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, pat := range patterns {
 		row := []any{pat.p.String()}
-		for _, mk := range predictors {
-			pcfg := prefetch.DefaultConfig()
-			pcfg.Predictor = mk()
-			res, err := workload.Run(s.machineConfig(), workload.Spec{
-				FileSize:     s.FileBytes / 4,
-				RequestSize:  64 << 10,
-				Mode:         pfs.MAsync,
-				Pattern:      pat.p,
-				Stride:       pat.stride,
-				Seed:         17,
-				ComputeDelay: 50 * sim.Millisecond,
-				Prefetch:     &pcfg,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ablation-predictor %v: %w", pat.p, err)
-			}
+		for c := range predictors {
+			res := results[r*len(predictors)+c]
 			row = append(row, res.Bandwidth, res.Prefetch.HitRate())
 		}
 		t.AddRow(row...)
@@ -214,23 +238,30 @@ func AblationSched(s Scale) (*stats.Table, error) {
 	policies := []disk.Sched{disk.FIFO, disk.SCAN, disk.CSCAN, disk.SSTF}
 	t := stats.NewTable("Ablation: disk scheduling policy (M_ASYNC random access, delay 0)",
 		"Request (KB)", "FIFO (MB/s)", "SCAN (MB/s)", "C-SCAN (MB/s)", "SSTF (MB/s)")
-	for _, req := range requestSizes {
-		fileSize := req * int64(s.Compute) * s.Rounds
+	bws, err := runCells(s, len(requestSizes)*len(policies), func(i int) (float64, error) {
+		req := requestSizes[i/len(policies)]
+		sched := policies[i%len(policies)]
+		cfg := s.machineConfig()
+		cfg.DiskSched = sched
+		res, err := workload.Run(cfg, workload.Spec{
+			FileSize:    req * int64(s.Compute) * s.Rounds,
+			RequestSize: req,
+			Mode:        pfs.MAsync,
+			Pattern:     workload.Random,
+			Seed:        23,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("ablation-sched %d/%v: %w", req, sched, err)
+		}
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
 		row := []any{req >> 10}
-		for _, sched := range policies {
-			cfg := s.machineConfig()
-			cfg.DiskSched = sched
-			res, err := workload.Run(cfg, workload.Spec{
-				FileSize:    fileSize,
-				RequestSize: req,
-				Mode:        pfs.MAsync,
-				Pattern:     workload.Random,
-				Seed:        23,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("ablation-sched %d/%v: %w", req, sched, err)
-			}
-			row = append(row, res.Bandwidth)
+		for c := range policies {
+			row = append(row, bws[r*len(policies)+c])
 		}
 		t.AddRow(row...)
 	}
@@ -242,9 +273,14 @@ func AblationSched(s Scale) (*stats.Table, error) {
 func AblationFrag(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: UFS fragmentation vs block coalescing (M_RECORD, 256KB requests)",
 		"Fragmentation", "Bandwidth (MB/s)", "Disk ops")
-	for _, frag := range []float64{0, 0.05, 0.2, 0.5, 1} {
+	frags := []float64{0, 0.05, 0.2, 0.5, 1}
+	type cell struct {
+		bw  float64
+		ops int64
+	}
+	cells, err := runCells(s, len(frags), func(i int) (cell, error) {
 		cfg := s.machineConfig()
-		cfg.UFS.Fragmentation = frag
+		cfg.UFS.Fragmentation = frags[i]
 		// A 256 KB stripe unit makes each I/O node piece span four file
 		// system blocks, giving coalescing something to merge (or not,
 		// once fragmentation splits the extents).
@@ -255,13 +291,19 @@ func AblationFrag(s Scale) (*stats.Table, error) {
 			Mode:        pfs.MRecord,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("ablation-frag %v: %w", frag, err)
+			return cell{}, fmt.Errorf("ablation-frag %v: %w", frags[i], err)
 		}
 		var ops int64
 		for _, srv := range res.Machine.Servers {
 			ops += srv.FS().DiskOps
 		}
-		t.AddRow(frag, res.Bandwidth, ops)
+		return cell{res.Bandwidth, ops}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.AddRow(frags[i], c.bw, c.ops)
 	}
 	return t, nil
 }

@@ -3,6 +3,13 @@
 // DESIGN.md calls out. Each generator returns a stats.Table whose rows
 // mirror what the paper reports; cmd/experiments prints them and the
 // repository-root benchmarks time them.
+//
+// Every generator is a grid of independent simulations — one cell per
+// (request size, delay, mode, ...) combination — evaluated through the
+// internal/sweep worker pool at the width Scale.Parallel selects. Cells
+// are pure (workload.Run builds a private machine per call) and results
+// are collected in grid order, so the tables are bit-identical at any
+// parallelism; only wall-clock time changes.
 package experiments
 
 import (
@@ -13,6 +20,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -32,6 +40,26 @@ type Scale struct {
 	// full overlap for the small request sizes; see DESIGN.md for the
 	// OCR reconstruction.
 	Delays []sim.Time
+	// Parallel is the worker-pool width for evaluating a generator's
+	// independent grid cells (0 or 1 = serial). Tables are identical at
+	// any width; see runCells.
+	Parallel int
+}
+
+// workers resolves the grid-cell pool width for this scale.
+func (s Scale) workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return 1
+}
+
+// runCells evaluates fn over n independent simulation cells on the
+// scale's worker pool and returns the results in cell order — never
+// completion order — so every generator's table is bit-identical to a
+// serial run at any Parallel width.
+func runCells[T any](s Scale, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.MapErr(s.workers(), n, fn)
 }
 
 // PaperScale reproduces the paper's platform: 8 compute nodes, 8 I/O
@@ -123,30 +151,38 @@ func Figure2(s Scale) (*stats.Table, error) {
 		fmt.Sprintf("File System Read Performance (%d Compute Nodes, %d I/O Nodes), 64K blocks", s.Compute, s.IO),
 		"Request (KB)", "M_UNIX", "M_LOG", "M_SYNC", "M_RECORD", "M_ASYNC", "Separate Files")
 	sizes := []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1024 << 10, 2048 << 10}
-	for _, req := range sizes {
-		row := []any{req >> 10}
-		fileSize := req * int64(s.Compute) * s.Rounds
-		for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MAsync} {
-			res, err := workload.Run(s.machineConfig(), workload.Spec{
-				FileSize:    fileSize,
-				RequestSize: req,
-				Mode:        mode,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig2 %v/%d: %w", mode, req, err)
-			}
-			row = append(row, res.Bandwidth)
+	modes := []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MAsync}
+	cols := len(modes) + 1 // + the separate-files baseline
+	bws, err := runCells(s, len(sizes)*cols, func(i int) (float64, error) {
+		req := sizes[i/cols]
+		c := i % cols
+		spec := workload.Spec{
+			FileSize:    req * int64(s.Compute) * s.Rounds,
+			RequestSize: req,
+			Mode:        pfs.MAsync,
 		}
-		res, err := workload.Run(s.machineConfig(), workload.Spec{
-			FileSize:      fileSize,
-			RequestSize:   req,
-			Mode:          pfs.MAsync,
-			SeparateFiles: true,
-		})
+		if c < len(modes) {
+			spec.Mode = modes[c]
+		} else {
+			spec.SeparateFiles = true
+		}
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 separate/%d: %w", req, err)
+			if spec.SeparateFiles {
+				return 0, fmt.Errorf("fig2 separate/%d: %w", req, err)
+			}
+			return 0, fmt.Errorf("fig2 %v/%d: %w", spec.Mode, req, err)
 		}
-		row = append(row, res.Bandwidth)
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range sizes {
+		row := []any{req >> 10}
+		for c := 0; c < cols; c++ {
+			row = append(row, bws[r*cols+c])
+		}
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -158,24 +194,31 @@ func Table1(s Scale) (*stats.Table, error) {
 	t := stats.NewTable(
 		"PFS Read Performance with and without Prefetching: stripeunit=64KB stripegroup="+fmt.Sprint(s.IO),
 		"Request (KB)", "File (MB)", "Read B/W (MB/s) no prefetching", "Read B/W (MB/s) prefetching")
-	for _, req := range requestSizes {
-		fileSize := req * int64(s.Compute) * s.Rounds
+	bws, err := runCells(s, len(requestSizes)*2, func(i int) (float64, error) {
+		req := requestSizes[i/2]
 		spec := workload.Spec{
-			FileSize:    fileSize,
+			FileSize:    req * int64(s.Compute) * s.Rounds,
 			RequestSize: req,
 			Mode:        pfs.MRecord,
 		}
-		plain, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("table1 plain/%d: %w", req, err)
+		variant := "plain"
+		if i%2 == 1 {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			variant = "prefetch"
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(s.machineConfig(), spec)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("table1 prefetch/%d: %w", req, err)
+			return 0, fmt.Errorf("table1 %s/%d: %w", variant, req, err)
 		}
-		t.AddRow(req>>10, fileSize>>20, plain.Bandwidth, fetched.Bandwidth)
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
+		fileSize := req * int64(s.Compute) * s.Rounds
+		t.AddRow(req>>10, fileSize>>20, bws[2*r], bws[2*r+1])
 	}
 	return t, nil
 }
@@ -185,7 +228,8 @@ func Table1(s Scale) (*stats.Table, error) {
 func Table2(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Read Access Times for Various Request Sizes",
 		"Request (KB)", "Read Access Time (sec)", "Mean (sec)", "p90 (sec)")
-	for _, req := range requestSizes {
+	results, err := runCells(s, len(requestSizes), func(i int) (*workload.Result, error) {
+		req := requestSizes[i]
 		res, err := workload.Run(s.machineConfig(), workload.Spec{
 			FileSize:    req * int64(s.Compute) * s.Rounds,
 			RequestSize: req,
@@ -194,6 +238,13 @@ func Table2(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("table2 %d: %w", req, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
+		res := results[r]
 		// The paper reports a single representative access time per size;
 		// free-running nodes make the raw minimum unrepresentative (an
 		// occasional read catches an idle disk), so the median stands in.
@@ -208,27 +259,37 @@ func Table2(s Scale) (*stats.Table, error) {
 func balancedFigure(s Scale, sizes []int64, title string) (*stats.Table, error) {
 	t := stats.NewTable(title,
 		"Request (KB)", "Delay (s)", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup")
-	for _, req := range sizes {
-		for _, delay := range s.Delays {
-			spec := workload.Spec{
-				FileSize:     s.FileBytes,
-				RequestSize:  req,
-				Mode:         pfs.MRecord,
-				ComputeDelay: delay,
-			}
-			plain, err := workload.Run(s.machineConfig(), spec)
-			if err != nil {
-				return nil, fmt.Errorf("%s plain %d/%v: %w", title, req, delay, err)
-			}
+	rows := len(sizes) * len(s.Delays)
+	bws, err := runCells(s, rows*2, func(i int) (float64, error) {
+		cell := i / 2
+		req := sizes[cell/len(s.Delays)]
+		delay := s.Delays[cell%len(s.Delays)]
+		spec := workload.Spec{
+			FileSize:     s.FileBytes,
+			RequestSize:  req,
+			Mode:         pfs.MRecord,
+			ComputeDelay: delay,
+		}
+		variant := "plain"
+		if i%2 == 1 {
 			pcfg := prefetch.DefaultConfig()
 			spec.Prefetch = &pcfg
-			fetched, err := workload.Run(s.machineConfig(), spec)
-			if err != nil {
-				return nil, fmt.Errorf("%s prefetch %d/%v: %w", title, req, delay, err)
-			}
-			t.AddRow(req>>10, delay.Seconds(), plain.Bandwidth, fetched.Bandwidth,
-				fetched.Bandwidth/plain.Bandwidth)
+			variant = "prefetch"
 		}
+		res, err := workload.Run(s.machineConfig(), spec)
+		if err != nil {
+			return 0, fmt.Errorf("%s %s %d/%v: %w", title, variant, req, delay, err)
+		}
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		req := sizes[r/len(s.Delays)]
+		delay := s.Delays[r%len(s.Delays)]
+		plain, fetched := bws[2*r], bws[2*r+1]
+		t.AddRow(req>>10, delay.Seconds(), plain, fetched, fetched/plain)
 	}
 	return t, nil
 }
@@ -253,22 +314,30 @@ func Table3(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("PFS Read Performance with prefetching for different Stripe unit sizes",
 		"Request (KB)", "File (MB)", "B/W su=64KB", "B/W su=256KB", "B/W su=1024KB")
 	stripeUnits := []int64{64 << 10, 256 << 10, 1024 << 10}
-	for _, req := range requestSizes {
+	bws, err := runCells(s, len(requestSizes)*len(stripeUnits), func(i int) (float64, error) {
+		req := requestSizes[i/len(stripeUnits)]
+		su := stripeUnits[i%len(stripeUnits)]
+		pcfg := prefetch.DefaultConfig()
+		res, err := workload.Run(s.machineConfig(), workload.Spec{
+			FileSize:    req * int64(s.Compute) * s.Rounds,
+			RequestSize: req,
+			Mode:        pfs.MRecord,
+			StripeUnit:  su,
+			Prefetch:    &pcfg,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("table3 %d/%d: %w", req, su, err)
+		}
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
 		fileSize := req * int64(s.Compute) * s.Rounds
 		row := []any{req >> 10, fileSize >> 20}
-		for _, su := range stripeUnits {
-			pcfg := prefetch.DefaultConfig()
-			res, err := workload.Run(s.machineConfig(), workload.Spec{
-				FileSize:    fileSize,
-				RequestSize: req,
-				Mode:        pfs.MRecord,
-				StripeUnit:  su,
-				Prefetch:    &pcfg,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("table3 %d/%d: %w", req, su, err)
-			}
-			row = append(row, res.Bandwidth)
+		for c := range stripeUnits {
+			row = append(row, bws[r*len(stripeUnits)+c])
 		}
 		t.AddRow(row...)
 	}
@@ -281,24 +350,29 @@ func Table4(s Scale) (*stats.Table, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("PFS Read Performance with Prefetching for different Stripe groups, Number of Nodes = %d", s.Compute),
 		"Request (KB)", "File (MB)", "B/W sgroup=1 (MB/s)", fmt.Sprintf("B/W sgroup=%d (MB/s)", s.IO), "Speedup")
-	for _, req := range requestSizes {
-		fileSize := req * int64(s.Compute) * s.Rounds
-		bws := make([]float64, 2)
-		for i, sg := range []int{1, s.IO} {
-			pcfg := prefetch.DefaultConfig()
-			res, err := workload.Run(s.machineConfig(), workload.Spec{
-				FileSize:    fileSize,
-				RequestSize: req,
-				Mode:        pfs.MRecord,
-				StripeGroup: sg,
-				Prefetch:    &pcfg,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("table4 %d/sg%d: %w", req, sg, err)
-			}
-			bws[i] = res.Bandwidth
+	groups := []int{1, s.IO}
+	bws, err := runCells(s, len(requestSizes)*len(groups), func(i int) (float64, error) {
+		req := requestSizes[i/len(groups)]
+		sg := groups[i%len(groups)]
+		pcfg := prefetch.DefaultConfig()
+		res, err := workload.Run(s.machineConfig(), workload.Spec{
+			FileSize:    req * int64(s.Compute) * s.Rounds,
+			RequestSize: req,
+			Mode:        pfs.MRecord,
+			StripeGroup: sg,
+			Prefetch:    &pcfg,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("table4 %d/sg%d: %w", req, sg, err)
 		}
-		t.AddRow(req>>10, fileSize>>20, bws[0], bws[1], bws[1]/bws[0])
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, req := range requestSizes {
+		fileSize := req * int64(s.Compute) * s.Rounds
+		t.AddRow(req>>10, fileSize>>20, bws[2*r], bws[2*r+1], bws[2*r+1]/bws[2*r])
 	}
 	return t, nil
 }

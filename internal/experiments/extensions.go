@@ -21,23 +21,32 @@ import (
 func ExtModes(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Extension: prefetching across I/O modes (64KB requests, 50ms compute)",
 		"Mode", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "Hit rate", "Issued")
-	for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MGlobal, pfs.MAsync} {
+	modes := []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MSync, pfs.MRecord, pfs.MGlobal, pfs.MAsync}
+	results, err := runCells(s, len(modes)*2, func(i int) (*workload.Result, error) {
+		mode := modes[i/2]
 		spec := workload.Spec{
 			FileSize:     s.FileBytes / 4,
 			RequestSize:  64 << 10,
 			Mode:         mode,
 			ComputeDelay: 50 * sim.Millisecond,
 		}
-		plain, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-modes plain/%v: %w", mode, err)
+		variant := "plain"
+		if i%2 == 1 {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			variant = "prefetch"
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(s.machineConfig(), spec)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("ext-modes prefetch/%v: %w", mode, err)
+			return nil, fmt.Errorf("ext-modes %s/%v: %w", variant, mode, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, mode := range modes {
+		plain, fetched := results[2*r], results[2*r+1]
 		t.AddRow(mode.String(), plain.Bandwidth, fetched.Bandwidth,
 			fetched.Bandwidth/plain.Bandwidth, fetched.Prefetch.HitRate(), fetched.Prefetch.Issued)
 	}
@@ -53,28 +62,40 @@ func ExtTwoPhase(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Extension: direct vs prefetching vs two-phase collective read",
 		"Record (KB)", "Direct (MB/s)", "Prefetching (MB/s)", "Two-phase (MB/s)")
 	fileSize := s.FileBytes / 4
-	for _, rec := range []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
-		spec := workload.Spec{FileSize: fileSize, RequestSize: rec, Mode: pfs.MRecord}
-		direct, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-twophase direct/%d: %w", rec, err)
+	recs := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	bws, err := runCells(s, len(recs)*3, func(i int) (float64, error) {
+		rec := recs[i/3]
+		switch i % 3 {
+		case 0:
+			direct, err := workload.Run(s.machineConfig(), workload.Spec{FileSize: fileSize, RequestSize: rec, Mode: pfs.MRecord})
+			if err != nil {
+				return 0, fmt.Errorf("ext-twophase direct/%d: %w", rec, err)
+			}
+			return direct.Bandwidth, nil
+		case 1:
+			pcfg := prefetch.DefaultConfig()
+			fetched, err := workload.Run(s.machineConfig(), workload.Spec{FileSize: fileSize, RequestSize: rec, Mode: pfs.MRecord, Prefetch: &pcfg})
+			if err != nil {
+				return 0, fmt.Errorf("ext-twophase prefetch/%d: %w", rec, err)
+			}
+			return fetched.Bandwidth, nil
+		default:
+			m := machine.Build(s.machineConfig())
+			if err := m.FS.Create("f", fileSize); err != nil {
+				return 0, err
+			}
+			tp, err := twophase.Read(m, "f", rec, s.Compute, twophase.DefaultConfig())
+			if err != nil {
+				return 0, fmt.Errorf("ext-twophase twophase/%d: %w", rec, err)
+			}
+			return stats.MBps(tp.TotalBytes, tp.Elapsed), nil
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-twophase prefetch/%d: %w", rec, err)
-		}
-		m := machine.Build(s.machineConfig())
-		if err := m.FS.Create("f", fileSize); err != nil {
-			return nil, err
-		}
-		tp, err := twophase.Read(m, "f", rec, s.Compute, twophase.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("ext-twophase twophase/%d: %w", rec, err)
-		}
-		t.AddRow(rec>>10, direct.Bandwidth, fetched.Bandwidth,
-			stats.MBps(tp.TotalBytes, tp.Elapsed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, rec := range recs {
+		t.AddRow(rec>>10, bws[3*r], bws[3*r+1], bws[3*r+2])
 	}
 	return t, nil
 }
@@ -85,20 +106,25 @@ func ExtWriteBehind(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Extension: write-behind (64KB records, partitioned writers)",
 		"Delay (s)", "Synchronous (MB/s)", "Write-behind (MB/s)", "Speedup", "Stalls")
 	fileSize := s.FileBytes / 4
-	for _, delay := range s.Delays {
-		var bws [2]float64
-		var stalls int64
-		for i, behind := range []bool{false, true} {
-			elapsed, st, err := writeRun(s, fileSize, 64<<10, delay, behind)
-			if err != nil {
-				return nil, fmt.Errorf("ext-writebehind %v/%v: %w", delay, behind, err)
-			}
-			bws[i] = stats.MBps(fileSize, elapsed)
-			if behind {
-				stalls = st
-			}
+	type cell struct {
+		bw     float64
+		stalls int64
+	}
+	cells, err := runCells(s, len(s.Delays)*2, func(i int) (cell, error) {
+		delay := s.Delays[i/2]
+		behind := i%2 == 1
+		elapsed, st, err := writeRun(s, fileSize, 64<<10, delay, behind)
+		if err != nil {
+			return cell{}, fmt.Errorf("ext-writebehind %v/%v: %w", delay, behind, err)
 		}
-		t.AddRow(delay.Seconds(), bws[0], bws[1], bws[1]/bws[0], stalls)
+		return cell{stats.MBps(fileSize, elapsed), st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, delay := range s.Delays {
+		sync, behind := cells[2*r], cells[2*r+1]
+		t.AddRow(delay.Seconds(), sync.bw, behind.bw, behind.bw/sync.bw, behind.stalls)
 	}
 	return t, nil
 }
@@ -168,30 +194,36 @@ func writeRun(s Scale, fileSize, rec int64, delay sim.Time, behind bool) (sim.Ti
 func ExtAdaptive(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Extension: adaptive prefetch throttling (M_RECORD, 64KB requests)",
 		"Delay (s)", "Plain (MB/s)", "Prefetch (MB/s)", "Adaptive (MB/s)", "Throttled")
-	for _, delay := range s.Delays {
+	variants := []string{"plain", "std", "adaptive"}
+	results, err := runCells(s, len(s.Delays)*len(variants), func(i int) (*workload.Result, error) {
+		delay := s.Delays[i/len(variants)]
+		variant := variants[i%len(variants)]
 		spec := workload.Spec{
 			FileSize:     s.FileBytes / 4,
 			RequestSize:  64 << 10,
 			Mode:         pfs.MRecord,
 			ComputeDelay: delay,
 		}
-		plain, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-adaptive plain/%v: %w", delay, err)
+		switch variant {
+		case "std":
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+		case "adaptive":
+			acfg := prefetch.DefaultConfig()
+			acfg.Adaptive = true
+			spec.Prefetch = &acfg
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		std, err := workload.Run(s.machineConfig(), spec)
+		res, err := workload.Run(s.machineConfig(), spec)
 		if err != nil {
-			return nil, fmt.Errorf("ext-adaptive std/%v: %w", delay, err)
+			return nil, fmt.Errorf("ext-adaptive %s/%v: %w", variant, delay, err)
 		}
-		acfg := prefetch.DefaultConfig()
-		acfg.Adaptive = true
-		spec.Prefetch = &acfg
-		adapt, err := workload.Run(s.machineConfig(), spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-adaptive adaptive/%v: %w", delay, err)
-		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, delay := range s.Delays {
+		plain, std, adapt := results[3*r], results[3*r+1], results[3*r+2]
 		t.AddRow(delay.Seconds(), plain.Bandwidth, std.Bandwidth, adapt.Bandwidth,
 			adapt.Prefetch.Throttled)
 	}
@@ -210,17 +242,28 @@ func ExtInterference(s Scale) (*stats.Table, error) {
 		prefetch  bool
 		aggressor bool
 	}
-	for _, sc := range []scenario{
+	scenarios := []scenario{
 		{"alone, no prefetch", false, false},
 		{"alone, prefetch", true, false},
 		{"shared I/O nodes, no prefetch", false, true},
 		{"shared I/O nodes, prefetch", true, true},
-	} {
+	}
+	type cell struct {
+		bw, hit float64
+	}
+	cells, err := runCells(s, len(scenarios), func(i int) (cell, error) {
+		sc := scenarios[i]
 		bw, hit, err := interferenceRun(s, sc.prefetch, sc.aggressor)
 		if err != nil {
-			return nil, fmt.Errorf("ext-interference %q: %w", sc.name, err)
+			return cell{}, fmt.Errorf("ext-interference %q: %w", sc.name, err)
 		}
-		t.AddRow(sc.name, bw, hit)
+		return cell{bw, hit}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		t.AddRow(sc.name, cells[i].bw, cells[i].hit)
 	}
 	return t, nil
 }
@@ -323,7 +366,9 @@ func interferenceRun(s Scale, withPrefetch, withAggressor bool) (float64, float6
 func ExtScale(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Extension: scaling compute and I/O nodes together (64KB requests, 50ms compute)",
 		"Nodes (C+IO)", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "BW per node")
-	for _, n := range []int{2, 4, 8, 16, 32} {
+	ns := []int{2, 4, 8, 16, 32}
+	bws, err := runCells(s, len(ns)*2, func(i int) (float64, error) {
+		n := ns[i/2]
 		cfg := s.machineConfig()
 		cfg.ComputeNodes = n
 		cfg.IONodes = n
@@ -333,18 +378,24 @@ func ExtScale(s Scale) (*stats.Table, error) {
 			Mode:         pfs.MRecord,
 			ComputeDelay: 50 * sim.Millisecond,
 		}
-		plain, err := workload.Run(cfg, spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-scale plain/%d: %w", n, err)
+		variant := "plain"
+		if i%2 == 1 {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			variant = "prefetch"
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(cfg, spec)
+		res, err := workload.Run(cfg, spec)
 		if err != nil {
-			return nil, fmt.Errorf("ext-scale prefetch/%d: %w", n, err)
+			return 0, fmt.Errorf("ext-scale %s/%d: %w", variant, n, err)
 		}
-		t.AddRow(fmt.Sprintf("%d+%d", n, n), plain.Bandwidth, fetched.Bandwidth,
-			fetched.Bandwidth/plain.Bandwidth, fetched.Bandwidth/float64(n))
+		return res.Bandwidth, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, n := range ns {
+		plain, fetched := bws[2*r], bws[2*r+1]
+		t.AddRow(fmt.Sprintf("%d+%d", n, n), plain, fetched, fetched/plain, fetched/float64(n))
 	}
 	return t, nil
 }

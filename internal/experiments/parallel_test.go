@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelTablesMatchSerial: every experiment's rendered table must
+// be byte-identical at any worker-pool width. The catalogue's grid cells
+// are independent simulations collected in index order, so -parallel may
+// only change wall-clock time, never a digit of output. A divergence
+// here means either a generator's index arithmetic mis-assembled rows or
+// a simulation read shared mutable state across cells.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	scale := QuickScale()
+	widths := []int{2, 4, runtime.NumCPU()}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			render := func(parallel int) string {
+				s := scale
+				s.Parallel = parallel
+				table, err := e.Run(s)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				var b strings.Builder
+				if err := table.RenderCSV(&b); err != nil {
+					t.Fatalf("parallel=%d: render: %v", parallel, err)
+				}
+				return b.String()
+			}
+			serial := render(1)
+			for _, w := range widths {
+				if got := render(w); got != serial {
+					t.Errorf("parallel=%d table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+						w, serial, got)
+				}
+			}
+		})
+	}
+}

@@ -54,48 +54,57 @@ func ExtSensitivity(s Scale) (*stats.Table, error) {
 			c.ArrayMembers /= 2
 		}},
 	}
-	for _, v := range variants {
+	// One cell per (variant, claim): each claim is an independent
+	// plain-vs-prefetch ratio on the perturbed machine.
+	claims := []struct {
+		req   int64
+		delay sim.Time
+	}{
+		{64 << 10, 0},                       // C1
+		{64 << 10, 50 * sim.Millisecond},    // C2
+		{1024 << 10, 200 * sim.Millisecond}, // C3
+	}
+	ratios, err := runCells(s, len(variants)*len(claims), func(i int) (float64, error) {
+		v := variants[i/len(claims)]
+		cl := claims[i%len(claims)]
 		cfg := s.machineConfig()
 		v.tweak(&cfg)
-		c1, c2, c3, err := headlineClaims(cfg, s)
+		r, err := claimRatio(cfg, s, cl.req, cl.delay)
 		if err != nil {
-			return nil, fmt.Errorf("ext-sensitivity %q: %w", v.name, err)
+			return 0, fmt.Errorf("ext-sensitivity %q: %w", v.name, err)
 		}
-		t.AddRow(v.name, c1, c2, c3)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, v := range variants {
+		t.AddRow(v.name, ratios[3*r], ratios[3*r+1], ratios[3*r+2])
 	}
 	return t, nil
 }
 
-// headlineClaims measures the three claim metrics on one machine
-// configuration.
-func headlineClaims(cfg machine.Config, s Scale) (c1, c2, c3 float64, err error) {
-	ratio := func(req int64, delay sim.Time) (float64, error) {
-		spec := workload.Spec{
-			FileSize:     req * int64(s.Compute) * s.Rounds,
-			RequestSize:  req,
-			Mode:         pfs.MRecord,
-			ComputeDelay: delay,
-		}
-		plain, err := workload.Run(cfg, spec)
-		if err != nil {
-			return 0, err
-		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(cfg, spec)
-		if err != nil {
-			return 0, err
-		}
-		return fetched.Bandwidth / plain.Bandwidth, nil
+// claimRatio measures one headline-claim metric — prefetching bandwidth
+// over plain bandwidth at a request size and compute delay — on one
+// machine configuration.
+func claimRatio(cfg machine.Config, s Scale, req int64, delay sim.Time) (float64, error) {
+	spec := workload.Spec{
+		FileSize:     req * int64(s.Compute) * s.Rounds,
+		RequestSize:  req,
+		Mode:         pfs.MRecord,
+		ComputeDelay: delay,
 	}
-	if c1, err = ratio(64<<10, 0); err != nil {
-		return
+	plain, err := workload.Run(cfg, spec)
+	if err != nil {
+		return 0, err
 	}
-	if c2, err = ratio(64<<10, 50*sim.Millisecond); err != nil {
-		return
+	pcfg := prefetch.DefaultConfig()
+	spec.Prefetch = &pcfg
+	fetched, err := workload.Run(cfg, spec)
+	if err != nil {
+		return 0, err
 	}
-	c3, err = ratio(1024<<10, 200*sim.Millisecond)
-	return
+	return fetched.Bandwidth / plain.Bandwidth, nil
 }
 
 // AblationBlockSize varies the file system block size the paper fixes at
@@ -103,7 +112,13 @@ func headlineClaims(cfg machine.Config, s Scale) (c1, c2, c3 float64, err error)
 func AblationBlockSize(s Scale) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: file system block size (M_RECORD, request = 4 blocks, delay 0)",
 		"Block (KB)", "Bandwidth (MB/s)", "Disk ops")
-	for _, bs := range []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10} {
+	blockSizes := []int64{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+	type cell struct {
+		bw  float64
+		ops int64
+	}
+	cells, err := runCells(s, len(blockSizes), func(i int) (cell, error) {
+		bs := blockSizes[i]
 		cfg := s.machineConfig()
 		cfg.UFS.BlockSize = bs
 		cfg.PFS.StripeUnit = bs
@@ -113,13 +128,19 @@ func AblationBlockSize(s Scale) (*stats.Table, error) {
 			Mode:        pfs.MRecord,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("ablation-blocksize %d: %w", bs, err)
+			return cell{}, fmt.Errorf("ablation-blocksize %d: %w", bs, err)
 		}
 		var ops int64
 		for _, srv := range res.Machine.Servers {
 			ops += srv.FS().DiskOps
 		}
-		t.AddRow(bs>>10, res.Bandwidth, ops)
+		return cell{res.Bandwidth, ops}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.AddRow(blockSizes[i]>>10, c.bw, c.ops)
 	}
 	return t, nil
 }
@@ -131,7 +152,9 @@ func ExtRatio(s Scale) (*stats.Table, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("Extension: I/O node count for %d compute nodes (64KB requests, 50ms compute)", s.Compute),
 		"I/O nodes", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "Mean disk util")
-	for _, io := range []int{1, 2, 4, 8, 16} {
+	ios := []int{1, 2, 4, 8, 16}
+	results, err := runCells(s, len(ios)*2, func(i int) (*workload.Result, error) {
+		io := ios[i/2]
 		cfg := s.machineConfig()
 		cfg.IONodes = io
 		spec := workload.Spec{
@@ -140,16 +163,23 @@ func ExtRatio(s Scale) (*stats.Table, error) {
 			Mode:         pfs.MRecord,
 			ComputeDelay: 50 * sim.Millisecond,
 		}
-		plain, err := workload.Run(cfg, spec)
-		if err != nil {
-			return nil, fmt.Errorf("ext-ratio plain/%d: %w", io, err)
+		variant := "plain"
+		if i%2 == 1 {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			variant = "prefetch"
 		}
-		pcfg := prefetch.DefaultConfig()
-		spec.Prefetch = &pcfg
-		fetched, err := workload.Run(cfg, spec)
+		res, err := workload.Run(cfg, spec)
 		if err != nil {
-			return nil, fmt.Errorf("ext-ratio prefetch/%d: %w", io, err)
+			return nil, fmt.Errorf("ext-ratio %s/%d: %w", variant, io, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, io := range ios {
+		plain, fetched := results[2*r], results[2*r+1]
 		t.AddRow(io, plain.Bandwidth, fetched.Bandwidth,
 			fetched.Bandwidth/plain.Bandwidth, fetched.Machine.DiskUtilization())
 	}

@@ -59,11 +59,17 @@ const (
 )
 
 // linkKey identifies one unidirectional link by its origin node and
-// direction.
+// direction. The occupancy clocks themselves live in a flat slice
+// indexed by node*4+dir (see Mesh.linkFree): every hop of every message
+// touches a link clock, and a map lookup there costs a hash per hop
+// where the slice costs an add and a bounds check.
 type linkKey struct {
 	node int
 	dir  direction
 }
+
+// linkIndex is the linkFree slot for the link leaving node in dir.
+func linkIndex(node int, dir direction) int { return node*4 + int(dir) }
 
 // Mesh is the interconnect instance. All methods must be called from
 // simulation context (events or processes of the owning kernel).
@@ -71,9 +77,9 @@ type Mesh struct {
 	k   *sim.Kernel
 	cfg Config
 
-	linkFree   map[linkKey]sim.Time // per-link clock: earliest next use
-	injectFree []sim.Time           // per-node injection port clock
-	ejectFree  []sim.Time           // per-node ejection port clock
+	linkFree   []sim.Time // per-link clock, indexed linkIndex(node, dir): earliest next use
+	injectFree []sim.Time // per-node injection port clock
+	ejectFree  []sim.Time // per-node ejection port clock
 
 	// Measurements.
 	Messages int64
@@ -94,7 +100,7 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 	return &Mesh{
 		k:          k,
 		cfg:        cfg,
-		linkFree:   make(map[linkKey]sim.Time),
+		linkFree:   make([]sim.Time, n*4),
 		injectFree: make([]sim.Time, n),
 		ejectFree:  make([]sim.Time, n),
 	}
@@ -185,13 +191,31 @@ func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
 
 	// The head advances one hop per HopLatency; each link is held for the
 	// serialization time of the whole message from the moment the head
-	// claims it.
+	// claims it. The XY walk is inlined (rather than materializing the
+	// route) so the per-message path costs no allocation.
 	arrival := start
-	for _, lk := range m.route(src, dst) {
-		free := m.linkFree[lk]
-		s := occupy(&free, arrival+m.cfg.HopLatency, xfer)
-		m.linkFree[lk] = free
-		arrival = s
+	x, y := m.coord(src)
+	dx, dy := m.coord(dst)
+	cur := src
+	for x != dx {
+		var dir direction
+		if x < dx {
+			dir, x = east, x+1
+		} else {
+			dir, x = west, x-1
+		}
+		arrival = occupy(&m.linkFree[linkIndex(cur, dir)], arrival+m.cfg.HopLatency, xfer)
+		cur = y*m.cfg.Width + x
+	}
+	for y != dy {
+		var dir direction
+		if y < dy {
+			dir, y = north, y+1
+		} else {
+			dir, y = south, y-1
+		}
+		arrival = occupy(&m.linkFree[linkIndex(cur, dir)], arrival+m.cfg.HopLatency, xfer)
+		cur = y*m.cfg.Width + x
 	}
 
 	// Ejection port at the destination, then the tail (serialization time)

@@ -1,0 +1,158 @@
+package prefetch
+
+// White-box regression tests for three accounting bugs:
+//
+//  1. issue() charged Skipped once per cap encounter instead of once per
+//     suppressed span, so the counter undercounted lost read-ahead
+//     whenever Depth left more than one span beyond the cap;
+//  2. ewma() treated a zero current average as unseeded and reseeded
+//     from the observation, losing history for any quantity whose
+//     legitimate average is zero (the compute gap of back-to-back
+//     reads);
+//  3. the adaptive state used lastEnd > 0 as "a read has completed" and
+//     one shared sample counter for both averages, so the service EWMA's
+//     weighting was driven by the gap count.
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func TestEwmaSeedsOnSampleCountOnly(t *testing.T) {
+	if got := ewma(0, 0.4, 0); got != 0.4 {
+		t.Fatalf("ewma(0, 0.4, 0) = %v, want seed 0.4", got)
+	}
+	// A zero average with history is a real average, not an unseeded
+	// state: the next observation must blend, not reseed.
+	if got, want := ewma(0, 0.4, 3), adaptAlpha*0.4; got != want {
+		t.Fatalf("ewma(0, 0.4, 3) = %v, want blended %v", got, want)
+	}
+	// A zero observation must pull an established average down.
+	if got, want := ewma(0.5, 0, 1), (1-adaptAlpha)*0.5; got != want {
+		t.Fatalf("ewma(0.5, 0, 1) = %v, want %v", got, want)
+	}
+}
+
+func TestAllowIssueGatesOnSplitCounters(t *testing.T) {
+	// Optimistic until both averages have settled: two gaps and at least
+	// one direct service observation.
+	cases := []struct {
+		st   adaptState
+		want bool
+	}{
+		{adaptState{}, true},
+		{adaptState{gapSamples: 1, serviceSamples: 1}, true},                                 // gap not settled
+		{adaptState{gapSamples: 5, serviceSamples: 0, gapEWMA: 0.001, serviceEWMA: 1}, true}, // no service sample
+		{adaptState{gapSamples: 2, serviceSamples: 1, gapEWMA: 0.001, serviceEWMA: 1}, false},
+		{adaptState{gapSamples: 2, serviceSamples: 1, gapEWMA: 1, serviceEWMA: 1}, true},
+	}
+	for i, tc := range cases {
+		if got := tc.st.allowIssue(); got != tc.want {
+			t.Errorf("case %d: allowIssue() = %v, want %v (%+v)", i, got, tc.want, tc.st)
+		}
+	}
+}
+
+// TestAdaptSamplingDiscipline drives a real sequential run and checks the
+// per-file state keeps the two averages' sample counts apart: every read
+// after the first contributes one gap sample, and only direct (miss)
+// reads contribute service samples.
+func TestAdaptSamplingDiscipline(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	m := machine.Build(cfg)
+	const fileSize, rec = 1 << 20, 64 << 10 // 16 records
+	if err := m.FS.Create("f", fileSize); err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultConfig()
+	pcfg.Adaptive = true
+	pf := New(m.K, pcfg)
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		for i := 0; i < fileSize/rec; i++ {
+			if _, err := f.Read(p, rec); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(50 * sim.Millisecond)
+		}
+		st := pf.adapt[f]
+		if st == nil {
+			t.Error("no adaptive state for the open file")
+			return
+		}
+		if !st.seen {
+			t.Error("seen not set after sixteen completed reads")
+		}
+		if want := fileSize/rec - 1; st.gapSamples != want {
+			t.Errorf("gapSamples = %d, want %d (one per read after the first)", st.gapSamples, want)
+		}
+		if st.serviceSamples != int(pf.Misses) {
+			t.Errorf("serviceSamples = %d, want one per miss (%d)", st.serviceSamples, pf.Misses)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Misses == 0 {
+		t.Fatal("run recorded no misses; the service-sample check proved nothing")
+	}
+}
+
+// TestSkippedCountsEverySuppressedSpan: one read under Depth 8 and a
+// 2-buffer cap predicts eight spans, issues two, and must charge Skipped
+// for each of the six spans the cap suppressed — not once for the whole
+// encounter.
+func TestSkippedCountsEverySuppressedSpan(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", 1<<20); err != nil { // 16 records: EOF never clips the prediction
+		t.Fatal(err)
+	}
+	pcfg := DefaultConfig()
+	pcfg.Depth = 8
+	pcfg.MaxBuffers = 2
+	pf := New(m.K, pcfg)
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(sim.Second) // drain the in-flight prefetches before close
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Issued != 2 {
+		t.Fatalf("Issued = %d, want 2 (the cap)", pf.Issued)
+	}
+	if pf.Skipped != 6 {
+		t.Fatalf("Skipped = %d, want 6 (every span the cap suppressed)", pf.Skipped)
+	}
+}

@@ -91,12 +91,17 @@ type Prefetcher struct {
 
 // adaptState is the adaptive policy's per-file picture of the
 // application: exponential averages of the compute gap between reads and
-// of the direct read service time.
+// of the direct read service time. The two averages sample at different
+// rates (every read has a gap, only misses have a direct service time),
+// so each keeps its own count; seen distinguishes "no read has finished
+// yet" from a read that finished at time zero.
 type adaptState struct {
-	lastEnd     sim.Time
-	gapEWMA     float64 // seconds
-	serviceEWMA float64 // seconds
-	samples     int
+	seen           bool     // a read has completed; lastEnd is meaningful
+	lastEnd        sim.Time // completion time of the previous read
+	gapEWMA        float64  // seconds
+	serviceEWMA    float64  // seconds
+	gapSamples     int
+	serviceSamples int
 }
 
 const adaptAlpha = 0.3 // EWMA weight for new observations
@@ -140,9 +145,9 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			st = &adaptState{}
 			pf.adapt[f] = st
 		}
-		if st.lastEnd > 0 {
-			st.gapEWMA = ewma(st.gapEWMA, (p.Now() - st.lastEnd).Seconds(), st.samples)
-			st.samples++
+		if st.seen {
+			st.gapEWMA = ewma(st.gapEWMA, (p.Now()-st.lastEnd).Seconds(), st.gapSamples)
+			st.gapSamples++
 		}
 	}
 	var err error
@@ -196,7 +201,8 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			f.RecordDelivery(off, n)
 			pf.BytesDirect += n
 			if st != nil {
-				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.samples)
+				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now()-ioStart).Seconds(), st.serviceSamples)
+				st.serviceSamples++
 			}
 		}
 	}
@@ -211,6 +217,7 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 	}
 	if st != nil {
 		st.lastEnd = p.Now()
+		st.seen = true
 	}
 	return nil
 }
@@ -219,16 +226,18 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 // state has settled, then only when the compute gap gives the prefetch a
 // real head start.
 func (st *adaptState) allowIssue() bool {
-	if st.samples < 2 || st.serviceEWMA == 0 {
+	if st.gapSamples < 2 || st.serviceSamples == 0 {
 		return true
 	}
 	return st.gapEWMA >= 0.25*st.serviceEWMA
 }
 
 // ewma folds a new observation into an exponential average (the first
-// observation seeds it).
+// observation seeds it). Seeding is decided by the sample count alone: a
+// legitimately observed zero (back-to-back reads have a zero compute
+// gap) is an average like any other, not an unseeded state.
 func ewma(cur, obs float64, samples int) float64 {
-	if samples == 0 || cur == 0 {
+	if samples == 0 {
 		return obs
 	}
 	return (1-adaptAlpha)*cur + adaptAlpha*obs
@@ -265,11 +274,15 @@ func (pf *Prefetcher) remove(f *pfs.File, idx int) {
 // mode, rank), as in the prototype.
 func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
 	for _, span := range pf.cfg.Predictor.Predict(f, off, n, pf.cfg.Depth) {
-		if len(pf.lists[f]) >= pf.cfg.MaxBuffers {
-			pf.Skipped++
-			return
-		}
 		if pf.covered(f, span.Off) {
+			continue
+		}
+		if len(pf.lists[f]) >= pf.cfg.MaxBuffers {
+			// The cap suppresses this span and every later one; count each
+			// suppressed span so Skipped tallies lost read-ahead, not cap
+			// encounters. Spans already covered are not losses and are
+			// screened out above.
+			pf.Skipped++
 			continue
 		}
 		// The user thread pays the setup cost of posting the

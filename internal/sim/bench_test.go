@@ -2,10 +2,33 @@ package sim
 
 import "testing"
 
+// BenchmarkSchedule measures the Schedule (At) + dispatch cycle in the
+// steady state, where every event struct comes off the kernel free list:
+// allocs/op is the number to watch (0 once the pool is warm).
+func BenchmarkSchedule(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now(), fn)
+		if k.Pending() >= 1024 {
+			if err := k.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEventThroughput measures raw scheduler throughput: how many
 // events per second the kernel retires.
 func BenchmarkEventThroughput(b *testing.B) {
 	k := NewKernel()
+	b.ReportAllocs()
 	var fire func()
 	n := 0
 	fire = func() {

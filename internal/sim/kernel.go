@@ -1,37 +1,74 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 )
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled on the kernel's free
+// list: every simulated event crosses Schedule (At/After) and the run
+// loop, so reusing the structs removes one heap allocation per event —
+// the dominant allocation of a simulation.
 type event struct {
 	t   Time
 	seq uint64 // tie-breaker: FIFO among events at the same instant
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (t, seq).
+// eventHeap is a min-heap ordered by (t, seq), with the sift operations
+// written out directly rather than through container/heap to keep the
+// per-event interface boxing and indirect calls off the hot path. The
+// ordering is identical to the container/heap formulation it replaces.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push adds e and restores the heap by sifting it up.
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // Kernel is a discrete-event simulation scheduler. It is not safe for
@@ -47,6 +84,7 @@ type Kernel struct {
 	daemons  int           // live procs marked as daemons (service loops)
 	executed uint64        // events run so far
 	failed   error         // first process panic, if any
+	free     []*event      // recycled event structs (see event)
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -98,7 +136,16 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.t, e.seq, e.fn = t, k.seq, fn
+	k.events.push(e)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -127,10 +174,16 @@ func (k *Kernel) RunUntil(deadline Time) error {
 			k.now = deadline
 			return k.failed
 		}
-		heap.Pop(&k.events)
+		k.events.pop()
 		k.now = e.t
 		k.executed++
-		e.fn()
+		fn := e.fn
+		// Recycle before dispatch: the callback's own Schedule calls can
+		// reuse the struct immediately. Clearing fn drops the closure
+		// reference so pooled events do not pin dead captures.
+		e.fn = nil
+		k.free = append(k.free, e)
+		fn()
 		if k.failed != nil {
 			return k.failed
 		}

@@ -511,3 +511,51 @@ func TestSecondsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEventPoolRecyclesAllocations(t *testing.T) {
+	// Warm the free list, then verify a steady-state schedule+run cycle
+	// allocates nothing per event: the pool absorbs every Schedule call.
+	k := NewKernel()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.At(k.Now(), fn)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			k.At(k.Now(), fn)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state schedule/run allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+func TestEventPoolPreservesOrdering(t *testing.T) {
+	// Interleave scheduling and running so recycled structs carry many
+	// different (t, seq) pairs; the observed order must stay (time, FIFO).
+	k := NewKernel()
+	var got []int
+	for round := 0; round < 3; round++ {
+		r := round
+		k.At(k.Now()+Time(10-r), func() { got = append(got, 100+r) })
+		k.At(k.Now()+Time(10-r), func() { got = append(got, 200+r) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{100, 200, 101, 201, 102, 202}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}

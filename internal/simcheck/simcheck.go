@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Report is the outcome of checking one seed.
@@ -91,23 +92,30 @@ func Check(seed int64) Report {
 	return rep
 }
 
-// CheckRange checks seeds [start, start+n), reporting each failure to
-// onFail as it is found, and returns the failing reports. If stopFirst
-// is set, checking stops at the first seed with any failure.
-func CheckRange(start int64, n int, stopFirst bool, onFail func(Report)) []Report {
+// CheckRange checks seeds [start, start+n) across a pool of workers
+// (workers <= 1 checks serially on the calling goroutine; workers <= 0
+// means one worker per CPU). Reports are delivered to onReport in seed
+// order regardless of pool width — each seed's check is an independent
+// simulation, so the report stream, the returned failure slice, and the
+// stop-at-first-failure point are identical at every width. The failing
+// reports are returned. If stopFirst is set, no report after the first
+// failing seed is delivered.
+func CheckRange(start int64, n, workers int, stopFirst bool, onReport func(Report)) []Report {
 	var failed []Report
-	for i := 0; i < n; i++ {
-		rep := Check(start + int64(i))
+	sweep.Stream(workers, n, func(i int) Report {
+		return Check(start + int64(i))
+	}, func(_ int, rep Report) bool {
+		if onReport != nil {
+			onReport(rep)
+		}
 		if !rep.OK() {
 			failed = append(failed, rep)
-			if onFail != nil {
-				onFail(rep)
-			}
 			if stopFirst {
-				break
+				return false
 			}
 		}
-	}
+		return true
+	})
 	return failed
 }
 
