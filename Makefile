@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-short simcheck experiments
+.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos detgate ci experiments
 
 all: build test
 
@@ -33,6 +33,42 @@ bench-short:
 
 simcheck:
 	$(GO) run ./cmd/simcheck -seeds 100
+
+# chaos force-arms transient disk faults with the retry layer on every
+# seed: all must recover, and at least one must be shown fatal without
+# the retries.
+chaos:
+	$(GO) run ./cmd/simcheck -chaos -seeds 25
+
+# fmt fails (listing the files) if anything is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs staticcheck and govulncheck when they are installed and
+# skips them (loudly) when not — local boxes need not have them; CI
+# installs pinned versions.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
+
+# detgate pins the simulation's determinism (golden fingerprint + trace
+# digests, healthy and chaos runs) and the zero-allocation hot paths.
+detgate:
+	$(GO) run ./cmd/detgate -allocs
+
+# ci reproduces the GitHub Actions pipeline locally: lint, build, race
+# tests, the simcheck and chaos smoke sweeps, the determinism/alloc
+# gate, and the benchmark smoke.
+ci: fmt vet lint build race
+	$(GO) run -race ./cmd/simcheck -seeds 25 -parallel 4
+	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
+	$(GO) run ./cmd/detgate -allocs
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/
+	$(GO) run ./cmd/benchsweep -short -o /dev/null
+	@echo "ci: all gates passed"
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

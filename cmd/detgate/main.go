@@ -1,0 +1,184 @@
+// Command detgate is the CI determinism and allocation gate.
+//
+// Determinism: it runs the quickstart scenario (and a chaos variant with
+// transient faults, shedding, and the retry layer armed) twice each,
+// requires bit-identical result fingerprints and trace digests between
+// the runs, and then diffs the digests against a committed golden file —
+// so a change that silently moves the simulation's event history fails
+// CI until the golden file is deliberately regenerated:
+//
+//	go run ./cmd/detgate -update
+//
+// Allocation: with -allocs it shells out to `go test -bench` and asserts
+// that the zero-allocation hot paths of the DES kernel and the mesh
+// (BenchmarkEventThroughput, BenchmarkSend) still report 0 allocs/op.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/ionode"
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// gateMachine is the quickstart platform: 4 compute and 4 I/O nodes,
+// fragmentation off (matching internal/workload's golden-trace test).
+func gateMachine() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 4
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	return cfg
+}
+
+// gateSpec is the quickstart workload: M_RECORD readers with prefetching
+// and 50 ms of computation between reads.
+func gateSpec(tl *trace.Log) workload.Spec {
+	pcfg := prefetch.DefaultConfig()
+	return workload.Spec{
+		File:         "quickstart",
+		FileSize:     1 << 20,
+		RequestSize:  64 << 10,
+		Mode:         pfs.MRecord,
+		ComputeDelay: 50 * sim.Millisecond,
+		Prefetch:     &pcfg,
+		Trace:        tl,
+	}
+}
+
+// chaosMachine arms the full fault-tolerance stack on the gate platform.
+func chaosMachine() machine.Config {
+	cfg := gateMachine()
+	cfg.DiskFaultRate = 0.03
+	cfg.DiskFaultTransientFrac = 1
+	cfg.DiskFaultJitter = 0.2
+	cfg.FaultSeed = 42
+	cfg.Shed = ionode.ShedPolicy{Threshold: 3, Cooldown: 20 * sim.Millisecond}
+	cfg.PFS.Retry = pfs.DefaultRetryPolicy()
+	return cfg
+}
+
+// digests runs the scenario once and returns (fingerprint, traceDigest).
+func digests(cfg machine.Config, name string) (uint64, uint64, error) {
+	tl := trace.NewLog(1 << 18)
+	res, err := workload.Run(cfg, gateSpec(tl))
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s run failed: %w", name, err)
+	}
+	if res.Fault.GiveUps != 0 {
+		return 0, 0, fmt.Errorf("%s run exhausted %d retry budget(s) under transient faults", name, res.Fault.GiveUps)
+	}
+	return res.Fingerprint(), tl.Digest(), nil
+}
+
+// scenarios are the gated runs, in golden-file line order.
+var scenarios = []struct {
+	name string
+	cfg  func() machine.Config
+}{
+	{"quickstart", gateMachine},
+	{"chaos", chaosMachine},
+}
+
+func main() {
+	var (
+		golden = flag.String("golden", "cmd/detgate/golden.digest", "committed digest file to diff against")
+		update = flag.Bool("update", false, "rewrite the golden file from this build's digests")
+		allocs = flag.Bool("allocs", false, "also gate the zero-allocation hot-path benchmarks")
+	)
+	flag.Parse()
+
+	var lines []string
+	for _, sc := range scenarios {
+		fp1, td1, err := digests(sc.cfg(), sc.name)
+		if err != nil {
+			fatal(err.Error())
+		}
+		fp2, td2, err := digests(sc.cfg(), sc.name)
+		if err != nil {
+			fatal(err.Error())
+		}
+		if fp1 != fp2 || td1 != td2 {
+			fatal(fmt.Sprintf("%s: two identical runs diverged: fingerprint %016x vs %016x, trace %016x vs %016x",
+				sc.name, fp1, fp2, td1, td2))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s fingerprint %016x", sc.name, fp1),
+			fmt.Sprintf("%s trace %016x", sc.name, td1))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *update {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fatal(err.Error())
+		}
+		fmt.Printf("detgate: wrote %s\n%s", *golden, got)
+	} else {
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			fatal(fmt.Sprintf("%v (regenerate with -update)", err))
+		}
+		if string(want) != got {
+			fatal(fmt.Sprintf("digests diverged from %s:\n--- committed\n%s--- this build\n%s"+
+				"the simulation's event history changed; if intended, regenerate with: go run ./cmd/detgate -update",
+				*golden, want, got))
+		}
+		fmt.Printf("detgate: digests match %s\n", *golden)
+	}
+
+	if *allocs {
+		gateAllocs()
+	}
+}
+
+// zeroAllocBenches are the hot paths pinned at 0 allocs/op. Names are
+// matched as the benchmark-name prefix of `go test -bench` output lines
+// (which append -N for GOMAXPROCS).
+var zeroAllocBenches = map[string]bool{
+	"BenchmarkEventThroughput": true, // sim.Kernel event dispatch
+	"BenchmarkSend":            true, // mesh message delivery
+}
+
+func gateAllocs() {
+	cmd := exec.Command("go", "test", "-run=^$",
+		"-bench=BenchmarkEventThroughput$|BenchmarkSend$",
+		"-benchtime=100x", "-benchmem", "./internal/sim/", "./internal/mesh/")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fatal(fmt.Sprintf("alloc gate: benchmarks failed: %v\n%s", err, out))
+	}
+	seen := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(f[0], "-", 2)[0]
+		if !zeroAllocBenches[name] {
+			continue
+		}
+		seen++
+		if f[len(f)-1] != "allocs/op" || f[len(f)-2] != "0" {
+			fatal(fmt.Sprintf("alloc gate: %s is no longer allocation-free:\n%s", name, line))
+		}
+	}
+	if seen != len(zeroAllocBenches) {
+		fatal(fmt.Sprintf("alloc gate: matched %d of %d gated benchmarks in output:\n%s",
+			seen, len(zeroAllocBenches), out))
+	}
+	fmt.Println("detgate: hot paths still 0 allocs/op")
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "detgate: "+msg)
+	os.Exit(1)
+}

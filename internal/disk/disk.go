@@ -17,6 +17,7 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -26,15 +27,29 @@ import (
 
 // Error is a media or transport failure reported by a drive. The zero
 // probability default means errors never occur unless a test or
-// experiment arms fault injection.
+// experiment arms fault injection. Transient distinguishes a soft error
+// (a re-read of the same sector is guaranteed to succeed) from a hard
+// media error the retry layer above cannot recover.
 type Error struct {
-	Disk   string
-	Sector int64
+	Disk      string
+	Sector    int64
+	Transient bool
 }
 
 // Error formats the failure with the drive and sector involved.
 func (e *Error) Error() string {
-	return fmt.Sprintf("disk %s: unrecoverable read error at sector %d", e.Disk, e.Sector)
+	kind := "unrecoverable"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("disk %s: %s read error at sector %d", e.Disk, kind, e.Sector)
+}
+
+// IsTransient reports whether err is (or wraps) a transient disk error —
+// one that a retry of the same request will not reproduce.
+func IsTransient(err error) bool {
+	var de *Error
+	return errors.As(err, &de) && de.Transient
 }
 
 // Geometry describes one disk's mechanics.
@@ -161,8 +176,11 @@ type Disk struct {
 	geo   Geometry
 	sched Sched
 
-	faultRate float64
+	fault     FaultProfile
 	faultRng  *rand.Rand
+	jitterRng *rand.Rand
+	transient map[int64]bool // sectors whose last read soft-failed; re-read succeeds
+	permBad   map[int64]bool // sectors gone for good
 
 	queue   []*Request
 	server  *sim.Proc
@@ -173,12 +191,14 @@ type Disk struct {
 	dir     int64 // SCAN sweep direction: +1 or -1
 
 	// Measurements.
-	Requests int64
-	Sectors  int64
-	Errors   int64
-	Busy     stats.Utilization
-	SeekDist stats.Histogram // cylinders traveled per positioned request
-	QueueLen stats.Histogram // queue length observed at arrival
+	Requests        int64
+	Sectors         int64
+	Errors          int64
+	TransientErrors int64 // subset of Errors that re-reads recover
+	PermanentErrors int64 // subset of Errors pinned to dead sectors
+	Busy            stats.Utilization
+	SeekDist        stats.Histogram // cylinders traveled per positioned request
+	QueueLen        stats.Histogram // queue length observed at arrival
 }
 
 // New creates a disk on kernel k and starts its service process.
@@ -203,16 +223,110 @@ func New(k *sim.Kernel, name string, geo Geometry, sched Sched) *Disk {
 // Geometry returns the disk's geometry.
 func (d *Disk) Geometry() Geometry { return d.geo }
 
-// InjectFaults arms fault injection: each request independently fails
-// with probability rate (deterministically, from seed). The request
-// still consumes its full service time — the error surfaces at
-// completion, as a real unrecoverable read does.
-func (d *Disk) InjectFaults(rate float64, seed int64) {
-	if rate < 0 || rate > 1 {
-		panic(fmt.Sprintf("disk: fault rate %v outside [0,1]", rate))
+// FaultProfile describes how a disk misbehaves under fault injection.
+// All draws come from a generator seeded by Seed, so two runs of the
+// same simulation fault identically.
+type FaultProfile struct {
+	// Rate is the per-request fault probability. Zero disables
+	// injection entirely.
+	Rate float64
+	// TransientFrac is the fraction of faults that are soft: the request
+	// fails, but the faulted sector is remembered and the next read of it
+	// is guaranteed to succeed — the contract the PFS retry layer's
+	// recovery proof rests on.
+	TransientFrac float64
+	// PermanentFrac is the fraction of faults that kill the sector: every
+	// later request starting there fails without a new draw. Faults that
+	// are neither transient nor permanent are independent one-shots (the
+	// legacy InjectFaults behaviour): the re-read is a fresh draw.
+	PermanentFrac float64
+	// Jitter inflates each request's service time by a uniform factor in
+	// [0, Jitter] while injection is armed, modelling the retry storms
+	// and recalibration stalls of a drive under fault stress.
+	Jitter float64
+	Seed   int64
+}
+
+// valid panics on out-of-range probabilities.
+func (fp FaultProfile) validate() {
+	if fp.Rate < 0 || fp.Rate > 1 {
+		panic(fmt.Sprintf("disk: fault rate %v outside [0,1]", fp.Rate))
 	}
-	d.faultRate = rate
-	d.faultRng = rand.New(rand.NewSource(seed))
+	if fp.TransientFrac < 0 || fp.PermanentFrac < 0 || fp.TransientFrac+fp.PermanentFrac > 1 {
+		panic(fmt.Sprintf("disk: fault fractions %v+%v outside [0,1]", fp.TransientFrac, fp.PermanentFrac))
+	}
+	if fp.Jitter < 0 {
+		panic(fmt.Sprintf("disk: jitter %v negative", fp.Jitter))
+	}
+}
+
+// InjectFaults arms legacy fault injection: each request independently
+// fails with probability rate (deterministically, from seed). The
+// request still consumes its full service time — the error surfaces at
+// completion, as a real unrecoverable read does. Shorthand for
+// InjectFaultProfile with one-shot faults only.
+func (d *Disk) InjectFaults(rate float64, seed int64) {
+	d.InjectFaultProfile(FaultProfile{Rate: rate, Seed: seed})
+}
+
+// InjectFaultProfile arms (or with a zero-rate profile disarms) the full
+// fault model. Sector state (transient marks, dead sectors) is reset.
+func (d *Disk) InjectFaultProfile(fp FaultProfile) {
+	fp.validate()
+	d.fault = fp
+	d.faultRng = rand.New(rand.NewSource(fp.Seed))
+	d.jitterRng = rand.New(rand.NewSource(fp.Seed ^ 0x6a69747465726a69)) // decouple jitter draws from fault draws
+	d.transient = make(map[int64]bool)
+	d.permBad = make(map[int64]bool)
+}
+
+// injectFault decides whether the request that just finished service
+// fails, honouring sector state: dead sectors always fail, transiently
+// marked sectors always succeed on their re-read (clearing the mark),
+// anything else is a fresh draw classified by the profile's fractions.
+func (d *Disk) injectFault(req *Request) error {
+	if d.fault.Rate <= 0 {
+		return nil
+	}
+	if d.permBad[req.Sector] {
+		d.Errors++
+		d.PermanentErrors++
+		return &Error{Disk: d.name, Sector: req.Sector}
+	}
+	if d.transient[req.Sector] {
+		delete(d.transient, req.Sector)
+		return nil
+	}
+	if d.faultRng.Float64() >= d.fault.Rate {
+		return nil
+	}
+	d.Errors++
+	if d.fault.TransientFrac == 0 && d.fault.PermanentFrac == 0 {
+		// Legacy one-shot profile: no classification draw, so the fault
+		// stream of pre-profile callers is reproduced exactly.
+		return &Error{Disk: d.name, Sector: req.Sector}
+	}
+	switch c := d.faultRng.Float64(); {
+	case c < d.fault.TransientFrac:
+		d.TransientErrors++
+		d.transient[req.Sector] = true
+		return &Error{Disk: d.name, Sector: req.Sector, Transient: true}
+	case c < d.fault.TransientFrac+d.fault.PermanentFrac:
+		d.PermanentErrors++
+		d.permBad[req.Sector] = true
+		return &Error{Disk: d.name, Sector: req.Sector}
+	default:
+		return &Error{Disk: d.name, Sector: req.Sector}
+	}
+}
+
+// faultJitter returns the extra service time fault stress adds to a
+// request that would nominally take t.
+func (d *Disk) faultJitter(t sim.Time) sim.Time {
+	if d.fault.Rate <= 0 || d.fault.Jitter <= 0 {
+		return 0
+	}
+	return sim.Time(float64(t) * d.fault.Jitter * d.jitterRng.Float64())
 }
 
 // Submit enqueues a request; req.Done fires when it completes. A request
@@ -269,19 +383,15 @@ func (d *Disk) serve(p *sim.Proc) {
 		}
 		req := d.pick()
 		d.Busy.Begin(p.Now())
-		p.Sleep(d.serviceTime(req, idleGap))
+		t := d.serviceTime(req, idleGap)
+		p.Sleep(t + d.faultJitter(t))
 		d.Busy.End(p.Now())
 		idleGap = false
 		d.Requests++
 		d.Sectors += req.Count
 		d.cur = (req.Sector + req.Count - 1) / (d.geo.SectorsPerTrack * d.geo.Heads)
 		d.nextLBA = req.Sector + req.Count
-		var err error
-		if d.faultRate > 0 && d.faultRng.Float64() < d.faultRate {
-			err = &Error{Disk: d.name, Sector: req.Sector}
-			d.Errors++
-		}
-		req.Done.Fire(err)
+		req.Done.Fire(d.injectFault(req))
 	}
 }
 

@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"ext-adaptive", "Extension: adaptive prefetch throttling", ExtAdaptive},
 		{"ext-sensitivity", "Extension: sensitivity of headline claims to calibration", ExtSensitivity},
 		{"ext-ratio", "Extension: compute-to-I/O-node ratio", ExtRatio},
+		{"ext-degraded", "Extension: degraded-mode reads under transient disk faults", ExtDegraded},
 		{"ablation-blocksize", "Ablation: file system block size", AblationBlockSize},
 		{"ablation-depth", "Ablation: prefetch depth", AblationDepth},
 		{"ablation-copy", "Ablation: hit-path copy cost", AblationCopy},

@@ -9,11 +9,32 @@
 package ionode
 
 import (
+	"errors"
+
 	"repro/internal/mesh"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/ufs"
 )
+
+// ErrOverloaded is the control reply of a server that is shedding load:
+// its disk reported repeated faults and the node fast-fails requests for
+// a cooldown window instead of queueing them onto failing hardware. The
+// PFS client's retry layer treats it like any other failure — back off
+// and re-issue, by which time the node has usually recovered.
+var ErrOverloaded = errors.New("ionode: shedding load after repeated disk faults")
+
+// ShedPolicy tells a server when to stop trusting its disk. After
+// Threshold consecutive disk-layer faults the server sheds every request
+// for Cooldown of simulated time, then probes again. The zero value
+// disables shedding: requests always reach the disk, as before.
+type ShedPolicy struct {
+	Threshold int      // consecutive faults that trip the breaker (0 = never)
+	Cooldown  sim.Time // how long to shed before letting requests through
+}
+
+// Enabled reports whether the policy can ever trip.
+func (sp ShedPolicy) Enabled() bool { return sp.Threshold > 0 }
 
 // Server is one I/O node daemon.
 type Server struct {
@@ -25,10 +46,15 @@ type Server struct {
 	dispatch sim.Time // CPU cost to decode and dispatch one request
 	cpuFree  sim.Time // server CPU clock
 
+	shed        ShedPolicy
+	consecFault int      // disk faults since the last success
+	shedUntil   sim.Time // shedding while now < shedUntil
+
 	// Measurements.
 	Requests      int64
 	BytesServed   int64
 	Faults        int64           // requests that failed at the disk layer
+	Shed          int64           // requests fast-failed while the breaker was open
 	PrefetchHints int64           // server-side cache-warming hints received
 	Service       stats.Histogram // request residency at this node, seconds
 }
@@ -45,6 +71,38 @@ func (s *Server) Node() int { return s.node }
 // stripe files through it).
 func (s *Server) FS() *ufs.FS { return s.fs }
 
+// SetShedPolicy installs (or with the zero policy removes) the node's
+// fault breaker.
+func (s *Server) SetShedPolicy(p ShedPolicy) { s.shed = p }
+
+// Shedding reports whether the breaker is open at time now.
+func (s *Server) Shedding(now sim.Time) bool { return now < s.shedUntil }
+
+// noteDisk feeds the breaker one disk-layer outcome: a success closes
+// it, Threshold consecutive faults open it for Cooldown.
+func (s *Server) noteDisk(failed bool) {
+	if !failed {
+		s.consecFault = 0
+		return
+	}
+	s.consecFault++
+	if s.shed.Enabled() && s.consecFault >= s.shed.Threshold {
+		s.shedUntil = s.k.Now() + s.shed.Cooldown
+		s.consecFault = 0
+	}
+}
+
+// maybeShed fast-fails the request with ErrOverloaded while the breaker
+// is open. Must run on the server CPU (inside onCPU).
+func (s *Server) maybeShed(from int, reply func(error)) bool {
+	if !s.Shedding(s.k.Now()) {
+		return false
+	}
+	s.Shed++
+	s.m.Send(s.node, from, 64, func() { reply(ErrOverloaded) })
+	return true
+}
+
 // Read serves a stripe read: n bytes at off of local file name, on behalf
 // of compute node from. reply runs on the requester when the data has
 // been delivered (or immediately-ish with an error for a bad request).
@@ -54,6 +112,9 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 	s.Requests++
 	start := s.k.Now()
 	s.onCPU(func() {
+		if s.maybeShed(from, reply) {
+			return
+		}
 		sig, err := s.fs.Read(name, off, n, ufs.ReadOptions{FastPath: fastPath})
 		if err != nil {
 			// Error replies are small control messages.
@@ -61,6 +122,7 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 			return
 		}
 		sig.OnFire(func(ioErr error) {
+			s.noteDisk(ioErr != nil)
 			if ioErr != nil {
 				s.Faults++
 				s.m.Send(s.node, from, 64, func() { reply(ioErr) })
@@ -81,11 +143,16 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 func (s *Server) Prefetch(name string, off, n int64) {
 	s.PrefetchHints++
 	s.onCPU(func() {
+		if s.Shedding(s.k.Now()) {
+			s.Shed++
+			return // no reply to drop: hints are one-way
+		}
 		sig, err := s.fs.Read(name, off, n, ufs.ReadOptions{FastPath: false})
 		if err != nil {
 			return
 		}
-		sig.OnFire(func(error) {})
+		// Even a speculative read's outcome is evidence about disk health.
+		sig.OnFire(func(ioErr error) { s.noteDisk(ioErr != nil) })
 	})
 }
 
@@ -96,12 +163,16 @@ func (s *Server) Write(from int, name string, off, n int64, reply func(error)) {
 	s.Requests++
 	start := s.k.Now()
 	s.onCPU(func() {
+		if s.maybeShed(from, reply) {
+			return
+		}
 		sig, err := s.fs.Write(name, off, n)
 		if err != nil {
 			s.m.Send(s.node, from, 64, func() { reply(err) })
 			return
 		}
 		sig.OnFire(func(ioErr error) {
+			s.noteDisk(ioErr != nil)
 			if ioErr != nil {
 				s.Faults++
 				s.m.Send(s.node, from, 64, func() { reply(ioErr) })

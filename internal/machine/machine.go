@@ -35,6 +35,21 @@ type Config struct {
 	// application, with the prefetcher falling back to direct reads.
 	DiskFaultRate float64
 	FaultSeed     int64
+
+	// DiskFaultTransientFrac and DiskFaultPermanentFrac classify faults
+	// (see disk.FaultProfile): a transient fault succeeds on re-read, a
+	// permanent one pins its sector dead. Both zero keeps the legacy
+	// one-shot fault behaviour bit-for-bit.
+	DiskFaultTransientFrac float64
+	DiskFaultPermanentFrac float64
+	// DiskFaultJitter stretches per-request service times by up to this
+	// fraction while fault injection is armed (0 disables).
+	DiskFaultJitter float64
+
+	// Shed installs the I/O-node fault breaker on every server: after
+	// Threshold consecutive disk faults a node fast-fails requests for
+	// Cooldown. The zero policy disables shedding.
+	Shed ionode.ShedPolicy
 }
 
 // DefaultConfig returns the paper's evaluation platform: 8 compute nodes
@@ -98,13 +113,21 @@ func Build(cfg Config) *Machine {
 		mach.Arrays = append(mach.Arrays, array)
 		if cfg.DiskFaultRate > 0 {
 			for j, d := range array.Members() {
-				d.InjectFaults(cfg.DiskFaultRate, cfg.FaultSeed+int64(i*100+j))
+				d.InjectFaultProfile(disk.FaultProfile{
+					Rate:          cfg.DiskFaultRate,
+					TransientFrac: cfg.DiskFaultTransientFrac,
+					PermanentFrac: cfg.DiskFaultPermanentFrac,
+					Jitter:        cfg.DiskFaultJitter,
+					Seed:          cfg.FaultSeed + int64(i*100+j),
+				})
 			}
 		}
 		ucfg := cfg.UFS
 		ucfg.Seed = cfg.UFS.Seed + int64(i)*7919 // distinct, deterministic layouts
 		fs := ufs.New(k, array, ucfg)
-		mach.Servers = append(mach.Servers, ionode.New(k, m, cfg.ComputeNodes+i, fs, cfg.Dispatch))
+		srv := ionode.New(k, m, cfg.ComputeNodes+i, fs, cfg.Dispatch)
+		srv.SetShedPolicy(cfg.Shed)
+		mach.Servers = append(mach.Servers, srv)
 	}
 	mach.FS = pfs.Mount(k, m, mach.Servers, cfg.PFS)
 	return mach

@@ -30,6 +30,12 @@ type Config struct {
 	RequestBytes int64    // control message size on the mesh
 	ARTSetup     sim.Time // async request setup + posting cost in the ART
 	FastPath     bool     // bypass I/O-node buffer caches (PFS "buffering off")
+
+	// Retry is the fault-tolerant I/O path: per-stripe-request timeouts
+	// and bounded, deterministically backed-off re-issues. The zero
+	// value disables it (the paper's client: any stripe failure surfaces
+	// directly).
+	Retry RetryPolicy
 }
 
 // DefaultConfig returns the mount parameters used throughout the paper's
@@ -86,6 +92,15 @@ type FileSystem struct {
 
 	// Measurements.
 	StripeRequests int64 // per-I/O-node requests issued (after declustering)
+
+	// Fault-tolerance measurements (all zero while Config.Retry is the
+	// zero policy).
+	Retries       int64 // pieces re-issued after a failure or timeout
+	Timeouts      int64 // attempts whose reply deadline fired first
+	GiveUps       int64 // pieces that exhausted the retry budget
+	DegradedReads int64 // read ops that succeeded only via >=1 retried piece
+	LateReplies   int64 // replies that arrived after their attempt timed out
+	LateBytes     int64 // read data delivered by late replies and discarded
 }
 
 // Mount creates a PFS over the given I/O node servers.
@@ -280,40 +295,30 @@ func decluster(off, n, su int64, g int) []piece {
 // stripeIO declusters [off, off+n) and issues the per-I/O-node requests
 // over the mesh, returning a signal that fires when every piece has been
 // served and delivered back to (or acknowledged for) compute node node.
+// Each piece rides the retry machinery (sendPiece); with the zero
+// RetryPolicy that machinery degenerates to the plain one-shot issue.
 func (fsys *FileSystem) stripeIO(node int, meta *fileMeta, off, n int64, write bool) *sim.Signal {
 	done := sim.NewSignal(fsys.k)
 	pieces := decluster(off, n, meta.su, len(meta.group))
 	fsys.StripeRequests += int64(len(pieces))
 	remaining := len(pieces)
 	var firstErr error
-	finishOne := func(err error) {
+	recovered := false
+	finishOne := func(err error, retried bool) {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		recovered = recovered || retried
 		remaining--
 		if remaining == 0 {
+			if firstErr == nil && recovered && !write {
+				fsys.DegradedReads++
+			}
 			done.Fire(firstErr)
 		}
 	}
 	for _, pc := range pieces {
-		pc := pc
-		srv := fsys.servers[meta.group[pc.server]]
-		reqBytes := fsys.cfg.RequestBytes
-		if write {
-			reqBytes += pc.n // write data travels with the request
-		}
-		fsys.emit(trace.StripeSend, srv.Node(), meta.name, pc.localOff, pc.n)
-		done := func(err error) {
-			fsys.emit(trace.StripeReply, srv.Node(), meta.name, pc.localOff, pc.n)
-			finishOne(err)
-		}
-		fsys.m.Send(node, srv.Node(), reqBytes, func() {
-			if write {
-				srv.Write(node, meta.localName(), pc.localOff, pc.n, done)
-			} else {
-				srv.Read(node, meta.localName(), pc.localOff, pc.n, fsys.cfg.FastPath, done)
-			}
-		})
+		fsys.sendPiece(node, meta, pc, write, 0, finishOne)
 	}
 	return done
 }

@@ -1,0 +1,145 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrTimeout marks a stripe request whose reply deadline passed. It is
+// what a read surfaces when the retry budget runs out on timeouts alone.
+var ErrTimeout = errors.New("pfs: stripe request timed out")
+
+// RetryPolicy is the client side of the fault-tolerant I/O path: every
+// declustered piece gets a reply deadline and a bounded number of
+// re-issues with exponentially growing, deterministically jittered
+// delays. The zero value disables the whole layer — no timers are
+// scheduled and the request flow is identical to the plain PFS client.
+//
+// All delays are simulated-time events on the kernel; nothing reads a
+// wall clock, so runs with retries remain bit-reproducible.
+type RetryPolicy struct {
+	MaxRetries int      // re-issues allowed per piece after the first attempt
+	Timeout    sim.Time // per-attempt reply deadline (0 = wait forever)
+	Backoff    sim.Time // delay before the first re-issue; doubles each attempt
+	BackoffMax sim.Time // cap on the exponential growth (0 = uncapped)
+	Seed       int64    // decorrelates the jitter streams of different mounts
+}
+
+// DefaultRetryPolicy returns the policy the degraded-mode experiments
+// and chaos scenarios run under: enough budget that a transient-only
+// fault storm is always ridden out (each re-read of a transiently
+// faulted sector succeeds by construction), with backoff spanning any
+// I/O-node shed cooldown.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxRetries: 8,
+		Backoff:    2 * sim.Millisecond,
+		BackoffMax: 100 * sim.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Enabled reports whether any part of the retry layer is armed.
+func (rp RetryPolicy) Enabled() bool { return rp.MaxRetries > 0 || rp.Timeout > 0 }
+
+// delay computes the pause before re-issuing a piece whose attempt-th
+// try just failed: Backoff<<attempt capped at BackoffMax, plus a
+// deterministic jitter of up to a quarter of the base delay derived by
+// hashing (Seed, node, localOff, attempt). The jitter de-synchronizes
+// the retry herds of many clients without a shared RNG, whose draw
+// order would depend on event interleaving.
+func (rp RetryPolicy) delay(node int, localOff int64, attempt int) sim.Time {
+	d := rp.Backoff
+	for i := 0; i < attempt && d < rp.BackoffMax; i++ {
+		d <<= 1
+	}
+	if rp.BackoffMax > 0 && d > rp.BackoffMax {
+		d = rp.BackoffMax
+	}
+	if d <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{uint64(rp.Seed), uint64(node), uint64(localOff), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return d + sim.Time(h.Sum64()%uint64(d/4+1))
+}
+
+// sendPiece issues one attempt of a declustered piece to its I/O node
+// and arms the attempt's reply deadline. Exactly one of three things
+// settles the attempt — the reply, the timeout, or nothing (a reply
+// arriving after the timeout already settled it is counted and
+// dropped) — and a settled failure either re-issues the piece after the
+// backoff delay or gives up and surfaces the error to finish.
+func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool, attempt int, finish func(err error, retried bool)) {
+	srv := fsys.servers[meta.group[pc.server]]
+	reqBytes := fsys.cfg.RequestBytes
+	if write {
+		reqBytes += pc.n // write data travels with the request
+	}
+	if attempt == 0 {
+		fsys.emit(trace.StripeSend, srv.Node(), meta.name, pc.localOff, pc.n)
+	} else {
+		fsys.emit(trace.RetryIssue, srv.Node(), meta.name, pc.localOff, pc.n)
+	}
+
+	pol := fsys.cfg.Retry
+	settled := false
+	settle := func(err error) {
+		if err != nil && attempt < pol.MaxRetries {
+			fsys.Retries++
+			fsys.k.After(pol.delay(node, pc.localOff, attempt), func() {
+				fsys.sendPiece(node, meta, pc, write, attempt+1, finish)
+			})
+			return
+		}
+		if err != nil && pol.Enabled() {
+			fsys.GiveUps++
+			fsys.emit(trace.RetryGiveUp, srv.Node(), meta.name, pc.localOff, pc.n)
+		}
+		finish(err, attempt > 0)
+	}
+	reply := func(err error) {
+		if settled {
+			// The deadline fired first and the piece was re-issued; this
+			// attempt's outcome is stale. Data that did arrive was paid
+			// for at the server and on the mesh but is discarded here.
+			fsys.LateReplies++
+			if err == nil && !write {
+				fsys.LateBytes += pc.n
+			}
+			return
+		}
+		settled = true
+		fsys.emit(trace.StripeReply, srv.Node(), meta.name, pc.localOff, pc.n)
+		settle(err)
+	}
+	if pol.Timeout > 0 {
+		fsys.k.After(pol.Timeout, func() {
+			if settled {
+				return // reply won the race; the deadline is a no-op
+			}
+			settled = true
+			fsys.Timeouts++
+			fsys.emit(trace.TimeoutFired, srv.Node(), meta.name, pc.localOff, pc.n)
+			settle(fmt.Errorf("%w: [%d,+%d) on I/O node %d, attempt %d",
+				ErrTimeout, pc.localOff, pc.n, srv.Node(), attempt))
+		})
+	}
+	fsys.m.Send(node, srv.Node(), reqBytes, func() {
+		if write {
+			srv.Write(node, meta.localName(), pc.localOff, pc.n, reply)
+		} else {
+			srv.Read(node, meta.localName(), pc.localOff, pc.n, fsys.cfg.FastPath, reply)
+		}
+	})
+}

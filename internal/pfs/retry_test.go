@@ -1,0 +1,247 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/ionode"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// newRetryRig is newRig with an explicit mount configuration and access
+// to the member disks for fault injection.
+func newRetryRig(t testing.TB, computeNodes, ioNodes int, cfg Config) (*rig, []*disk.Array) {
+	t.Helper()
+	k := sim.NewKernel()
+	total := computeNodes + ioNodes
+	w := 1
+	for w*w < total {
+		w++
+	}
+	h := (total + w - 1) / w
+	m := mesh.New(k, mesh.Paragon(w, h))
+	var servers []*ionode.Server
+	var arrays []*disk.Array
+	for i := 0; i < ioNodes; i++ {
+		a := disk.NewArray(k, fmt.Sprintf("raid%d", i), 4, disk.Seagate94601(), disk.SCAN, 500*sim.Microsecond)
+		arrays = append(arrays, a)
+		ucfg := ufs.DefaultConfig()
+		ucfg.Fragmentation = 0
+		ucfg.Seed = int64(i + 1)
+		servers = append(servers, ionode.New(k, m, computeNodes+i, ufs.New(k, a, ucfg), 300*sim.Microsecond))
+	}
+	fsys := Mount(k, m, servers, cfg)
+	r := &rig{k: k, m: m, fsys: fsys}
+	for i := 0; i < computeNodes; i++ {
+		r.compute = append(r.compute, i)
+	}
+	return r, arrays
+}
+
+func injectAll(arrays []*disk.Array, p disk.FaultProfile) {
+	for i, a := range arrays {
+		for j, d := range a.Members() {
+			fp := p
+			fp.Seed = p.Seed + int64(i*100+j)
+			d.InjectFaultProfile(fp)
+		}
+	}
+}
+
+// TestRetryRecoversTransientFaults: with every fresh disk request
+// soft-failing and re-reads succeeding, an armed retry policy must ride
+// out every fault and mark the reads degraded.
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retry = DefaultRetryPolicy()
+	r, arrays := newRetryRig(t, 1, 2, cfg)
+	if err := r.fsys.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	injectAll(arrays, disk.FaultProfile{Rate: 1, TransientFrac: 1, Seed: 7})
+	var reads int
+	r.k.Go("reader", func(p *sim.Proc) {
+		f, err := r.fsys.Open("f", 0, MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := f.Read(p, 64<<10); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			reads++
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reads != 4 {
+		t.Fatalf("completed %d of 4 reads", reads)
+	}
+	if r.fsys.Retries == 0 {
+		t.Error("transient fault storm survived with zero retries")
+	}
+	if r.fsys.GiveUps != 0 {
+		t.Errorf("GiveUps = %d under purely transient faults", r.fsys.GiveUps)
+	}
+	if r.fsys.DegradedReads != 4 {
+		t.Errorf("DegradedReads = %d, want 4 (every read needed a retry)", r.fsys.DegradedReads)
+	}
+}
+
+// TestRetryBudgetExhausted: permanent faults never heal, so the retry
+// loop must burn exactly its budget per piece and then surface the disk
+// error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{MaxRetries: 2, Backoff: sim.Millisecond, BackoffMax: 4 * sim.Millisecond, Seed: 1}
+	r, arrays := newRetryRig(t, 1, 1, cfg)
+	if err := r.fsys.Create("f", 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	injectAll(arrays, disk.FaultProfile{Rate: 1, PermanentFrac: 1, Seed: 7})
+	var readErr error
+	r.k.Go("reader", func(p *sim.Proc) {
+		f, err := r.fsys.Open("f", 0, MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, readErr = f.Read(p, 64<<10)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var de *disk.Error
+	if !errors.As(readErr, &de) {
+		t.Fatalf("read error = %v, want the disk fault to surface after retries", readErr)
+	}
+	// One piece (64 KB on one I/O node, one UFS block): budget is
+	// MaxRetries re-issues, then one give-up.
+	if r.fsys.Retries != 2 {
+		t.Errorf("Retries = %d, want 2 (the full budget)", r.fsys.Retries)
+	}
+	if r.fsys.GiveUps != 1 {
+		t.Errorf("GiveUps = %d, want 1", r.fsys.GiveUps)
+	}
+	if r.fsys.DegradedReads != 0 {
+		t.Errorf("DegradedReads = %d for a failed read", r.fsys.DegradedReads)
+	}
+}
+
+// TestTimeoutAfterReplyIsNoOp: a reply that wins the race must settle
+// the attempt; the deadline firing afterwards does nothing — no timeout
+// counted, no retry issued, no second completion.
+func TestTimeoutAfterReplyIsNoOp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{MaxRetries: 3, Timeout: 10 * sim.Second, Backoff: sim.Millisecond, Seed: 1}
+	r, _ := newRetryRig(t, 1, 2, cfg)
+	if err := r.fsys.Create("f", 256<<10); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Go("reader", func(p *sim.Proc) {
+		f, err := r.fsys.Open("f", 0, MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := f.Read(p, 64<<10); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.fsys.Timeouts != 0 || r.fsys.Retries != 0 || r.fsys.LateReplies != 0 {
+		t.Errorf("healthy run under a generous deadline counted timeouts=%d retries=%d late=%d, want all zero",
+			r.fsys.Timeouts, r.fsys.Retries, r.fsys.LateReplies)
+	}
+}
+
+// TestTimeoutBeforeReplyDiscardsLateReply: a deadline far below the
+// service time makes every attempt time out first; the replies that
+// arrive afterwards must be counted as late and discarded — exactly one
+// completion per read — and the read surfaces ErrTimeout once the
+// budget is gone.
+func TestTimeoutBeforeReplyDiscardsLateReply(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Retry = RetryPolicy{MaxRetries: 2, Timeout: 100 * sim.Microsecond, Backoff: sim.Millisecond, Seed: 1}
+	r, _ := newRetryRig(t, 1, 1, cfg)
+	if err := r.fsys.Create("f", 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	r.k.Go("reader", func(p *sim.Proc) {
+		f, err := r.fsys.Open("f", 0, MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, readErr = f.Read(p, 64<<10)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(readErr, ErrTimeout) {
+		t.Fatalf("read error = %v, want ErrTimeout", readErr)
+	}
+	// One piece, three attempts (initial + 2 retries), each timed out.
+	if r.fsys.Timeouts != 3 {
+		t.Errorf("Timeouts = %d, want 3", r.fsys.Timeouts)
+	}
+	if r.fsys.Retries != 2 || r.fsys.GiveUps != 1 {
+		t.Errorf("Retries/GiveUps = %d/%d, want 2/1", r.fsys.Retries, r.fsys.GiveUps)
+	}
+	// The disk served every attempt successfully; all three replies lost
+	// the race and were discarded.
+	if r.fsys.LateReplies != 3 {
+		t.Errorf("LateReplies = %d, want 3", r.fsys.LateReplies)
+	}
+	if r.fsys.LateBytes != 3*(64<<10) {
+		t.Errorf("LateBytes = %d, want 3 pieces' worth", r.fsys.LateBytes)
+	}
+}
+
+// TestBackoffDelayDeterministic: the backoff is a pure function of
+// (Seed, node, offset, attempt) — no RNG whose draw order could differ
+// between runs — doubling per attempt and capped (jitter included) at
+// 1.25x BackoffMax.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	pol := DefaultRetryPolicy()
+	for attempt := 0; attempt < 12; attempt++ {
+		a := pol.delay(3, 1<<20, attempt)
+		b := pol.delay(3, 1<<20, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a < pol.Backoff {
+			t.Fatalf("attempt %d: delay %v below base backoff %v", attempt, a, pol.Backoff)
+		}
+		if max := pol.BackoffMax + pol.BackoffMax/4; a > max {
+			t.Fatalf("attempt %d: delay %v above jittered cap %v", attempt, a, max)
+		}
+	}
+	// Different request coordinates must de-synchronize (not all equal).
+	distinct := map[sim.Time]bool{}
+	for node := 0; node < 8; node++ {
+		distinct[pol.delay(node, 0, 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("jitter produced identical delays for 8 nodes")
+	}
+	if (RetryPolicy{}).Enabled() {
+		t.Error("zero policy reports enabled")
+	}
+	if (RetryPolicy{}).delay(0, 0, 0) != 0 {
+		t.Error("zero policy has nonzero delay")
+	}
+}

@@ -82,6 +82,7 @@ type Prefetcher struct {
 	Misses      int64           // reads with no matching buffer
 	Wasted      int64           // buffers freed unused at close
 	Skipped     int64           // prefetches suppressed by the buffer cap
+	Retired     int64           // failed prefetches whose buffer slot was reclaimed
 	Fallbacks   int64           // failed prefetches retried as direct reads
 	Throttled   int64           // issues suppressed by the adaptive policy
 	BytesCopied int64           // bytes delivered from prefetch buffers (hit-path copies)
@@ -146,12 +147,12 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			pf.adapt[f] = st
 		}
 		if st.seen {
-			st.gapEWMA = ewma(st.gapEWMA, (p.Now()-st.lastEnd).Seconds(), st.gapSamples)
+			st.gapEWMA = ewma(st.gapEWMA, (p.Now() - st.lastEnd).Seconds(), st.gapSamples)
 			st.gapSamples++
 		}
 	}
 	var err error
-	if e, idx := pf.lookup(f, off, n); e != nil {
+	if e, _ := pf.lookup(f, off, n); e != nil {
 		waited := false
 		if !e.req.Done.Fired() {
 			// Miss-when-presented but mostly done: wait out the remainder.
@@ -161,7 +162,7 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			pf.WaitTime.ObserveTime(p.Now() - waitFrom)
 		}
 		err = e.req.Done.Err()
-		pf.remove(f, idx)
+		pf.removeEntry(f, e)
 		switch {
 		case err != nil:
 			// The prefetch failed at the disk; the user read must not
@@ -201,7 +202,7 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			f.RecordDelivery(off, n)
 			pf.BytesDirect += n
 			if st != nil {
-				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now()-ioStart).Seconds(), st.serviceSamples)
+				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.serviceSamples)
 				st.serviceSamples++
 			}
 		}
@@ -263,9 +264,29 @@ func (pf *Prefetcher) lookup(f *pfs.File, off, n int64) (*entry, int) {
 	return nil, -1
 }
 
-func (pf *Prefetcher) remove(f *pfs.File, idx int) {
-	l := pf.lists[f]
-	pf.lists[f] = append(l[:idx], l[idx+1:]...)
+// removeEntry drops e from f's list by identity. A no-op when the entry
+// is already gone — a failure retirement can race a reader that was
+// waiting on the same entry, and whichever runs second must not disturb
+// the list.
+func (pf *Prefetcher) removeEntry(f *pfs.File, e *entry) bool {
+	for i, cur := range pf.lists[f] {
+		if cur == e {
+			l := pf.lists[f]
+			pf.lists[f] = append(l[:i], l[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// retire reclaims the buffer slot of a prefetch whose stripe requests
+// failed. Without this, a failed speculative read would pin a MaxBuffers
+// slot until a read happened to match it (or close), quietly disabling
+// read-ahead exactly when the I/O path is struggling.
+func (pf *Prefetcher) retire(f *pfs.File, e *entry) {
+	if pf.removeEntry(f, e) {
+		pf.Retired++
+	}
 }
 
 // issue queues read-ahead for the Depth spans the predictor expects this
@@ -289,7 +310,13 @@ func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
 		// asynchronous request.
 		p.Sleep(pf.cfg.IssueOverhead)
 		req := f.IReadAt(span.Off, span.N)
-		pf.lists[f] = append(pf.lists[f], &entry{off: span.Off, n: span.N, req: req})
+		e := &entry{off: span.Off, n: span.N, req: req}
+		pf.lists[f] = append(pf.lists[f], e)
+		req.Done.OnFire(func(err error) {
+			if err != nil {
+				pf.retire(f, e)
+			}
+		})
 		pf.Issued++
 		pf.emit(p, trace.PrefetchIssue, f, span.Off, span.N)
 	}

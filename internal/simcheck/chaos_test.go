@@ -1,0 +1,91 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosSweep is the in-tree chaos smoke sweep: every seed force-arms
+// transient faults under the retry layer and must recover completely —
+// the acceptance bar of the fault-tolerant I/O path.
+func TestChaosSweep(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	var unprotected int
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep := CheckChaos(seed)
+		if !rep.OK() {
+			var b strings.Builder
+			rep.Describe(&b)
+			t.Errorf("chaos seed %d failed:\n%s", seed, b.String())
+		}
+		if rep.UnprotectedErr != nil {
+			unprotected++
+		}
+	}
+	// The sweep must prove the faults were real: at least one seed's
+	// retries-disabled twin has to die on an unrecovered read error.
+	if unprotected == 0 {
+		t.Errorf("no seed of %d failed without retry protection — chaos scenarios too tame", n)
+	}
+}
+
+// TestGenerateChaosDeterministic: chaos generation must be a pure
+// function of the seed and must always arm the recoverable profile.
+func TestGenerateChaosDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a, b := GenerateChaos(seed), GenerateChaos(seed)
+		if a.Label() != b.Label() {
+			t.Fatalf("seed %d: GenerateChaos not deterministic:\n%s\n%s", seed, a.Label(), b.Label())
+		}
+		if !a.Recoverable || a.Faulty {
+			t.Fatalf("seed %d: chaos scenario flags Recoverable=%v Faulty=%v", seed, a.Recoverable, a.Faulty)
+		}
+		if a.Cfg.DiskFaultRate <= 0 || a.Cfg.DiskFaultRate > 0.05 {
+			t.Fatalf("seed %d: chaos fault rate %f outside (0, 0.05]", seed, a.Cfg.DiskFaultRate)
+		}
+		if a.Cfg.DiskFaultTransientFrac != 1 {
+			t.Fatalf("seed %d: chaos faults not purely transient", seed)
+		}
+		if !a.Cfg.PFS.Retry.Enabled() {
+			t.Fatalf("seed %d: chaos scenario without retry protection", seed)
+		}
+	}
+}
+
+// TestCheckChaosRangeParallelMatchesSerial: like the plain sweep, the
+// chaos sweep must deliver identical reports (and the identical
+// unprotected-failure count) at every pool width.
+func TestCheckChaosRangeParallelMatchesSerial(t *testing.T) {
+	const start, n = 1, 8
+	collect := func(workers int) ([]ChaosReport, int) {
+		var reps []ChaosReport
+		failed, unprotected := CheckChaosRange(start, n, workers, false, func(rep ChaosReport) {
+			reps = append(reps, rep)
+		})
+		if len(failed) != 0 {
+			t.Fatalf("workers=%d: %d failing chaos seeds in a clean range", workers, len(failed))
+		}
+		return reps, unprotected
+	}
+	serial, serialUnprot := collect(1)
+	if len(serial) != n {
+		t.Fatalf("serial chaos sweep delivered %d reports, want %d", len(serial), n)
+	}
+	for _, workers := range []int{2, 4} {
+		par, parUnprot := collect(workers)
+		if parUnprot != serialUnprot {
+			t.Errorf("workers=%d counted %d unprotected failures, serial %d", workers, parUnprot, serialUnprot)
+		}
+		for i := range serial {
+			s, p := par[i], serial[i]
+			if s.Seed != p.Seed || s.Fingerprint != p.Fingerprint || s.TraceDigest != p.TraceDigest ||
+				(s.UnprotectedErr == nil) != (p.UnprotectedErr == nil) {
+				t.Errorf("workers=%d chaos report %d diverged from serial (seed %d vs %d)",
+					workers, i, s.Seed, p.Seed)
+			}
+		}
+	}
+}

@@ -100,6 +100,32 @@ func checkSanity(seed int64, sc Scenario, r run) []Failure {
 	return fs
 }
 
+// checkRecovered asserts the fault-tolerance contract of a recoverable
+// scenario's successful run: no retry budget ran out anywhere — not even
+// on a speculative prefetch, whose give-up would have been masked by the
+// fallback path — and the books of the retry layer are internally
+// consistent.
+func checkRecovered(seed int64, r run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "recovery", Detail: fmt.Sprintf(format, args...)})
+	}
+	fc := r.res.Fault
+	if fc.GiveUps != 0 {
+		fail("%d piece(s) exhausted the retry budget under purely transient faults", fc.GiveUps)
+	}
+	if fc.DiskPermanent != 0 {
+		fail("%d permanent faults injected in a transient-only profile", fc.DiskPermanent)
+	}
+	if got := int64(r.tl.Count(trace.RetryIssue)); r.tl.Dropped() == 0 && got != fc.Retries {
+		fail("trace recorded %d retry-issue events, counters say %d", got, fc.Retries)
+	}
+	if got := int64(r.tl.Count(trace.TimeoutFired)); r.tl.Dropped() == 0 && got != fc.Timeouts {
+		fail("trace recorded %d timeout-fired events, counters say %d", got, fc.Timeouts)
+	}
+	return fs
+}
+
 // checkMonotone asserts that adding compute delay never makes the run
 // finish earlier. base succeeded with sc.Spec; slower is the same
 // scenario with a strictly larger ComputeDelay.
@@ -139,12 +165,17 @@ func checkConservation(seed int64, sc Scenario, r run) []Failure {
 	// Every byte pulled over the fast path by user-facing instances left
 	// an I/O node exactly once, and vice versa: nothing minted, nothing
 	// double-served. (Server-side cache hints do not count as service.)
+	// Under the retry layer one slack term appears: a reply that lost the
+	// race against its attempt's deadline was served and paid for on the
+	// mesh but discarded by the client, so served bytes may exceed the
+	// fast-path account by exactly the late-reply bytes.
 	var served int64
 	for _, s := range res.Machine.Servers {
 		served += s.BytesServed
 	}
-	if served != res.IOBytes {
-		fail("I/O nodes served %d bytes, fast path accounted %d", served, res.IOBytes)
+	if served != res.IOBytes+res.Fault.LateBytes {
+		fail("I/O nodes served %d bytes, fast path accounted %d (+%d late)",
+			served, res.IOBytes, res.Fault.LateBytes)
 	}
 
 	// The prefetcher must classify every read it served, exactly once:

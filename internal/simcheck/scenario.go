@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/ionode"
 	"repro/internal/machine"
 	"repro/internal/pfs"
 	"repro/internal/prefetch"
@@ -39,11 +40,19 @@ type Scenario struct {
 	Cfg  machine.Config
 	Spec workload.Spec
 
-	// Faulty marks scenarios with disk fault injection armed. Faults make
-	// end-to-end success (and thus the byte-accounting oracles) dependent
-	// on which requests die, so only the determinism and basic sanity
-	// oracles run on them.
+	// Faulty marks scenarios with legacy one-shot disk fault injection
+	// armed and no retry protection. Faults make end-to-end success (and
+	// thus the byte-accounting oracles) dependent on which requests die,
+	// so only the determinism and basic sanity oracles run on them.
 	Faulty bool
+
+	// Recoverable marks chaos scenarios: purely transient disk faults at
+	// a low rate with the PFS retry layer armed (and sometimes I/O-node
+	// shedding and service-time jitter on top). Every fault must be
+	// ridden out — a transiently faulted sector succeeds on re-read by
+	// construction — so the full oracle set applies, except monotonicity
+	// (shifting arrival times shifts which requests draw faults).
+	Recoverable bool
 }
 
 // Generate expands a seed into a scenario. The same seed always yields
@@ -121,12 +130,50 @@ func Generate(seed int64) Scenario {
 	sc := Scenario{Seed: seed, Cfg: cfg, Spec: spec}
 
 	// Fault injection on ~1 in 8 seeds, reusing the machine's per-disk
-	// deterministic fault streams.
+	// deterministic fault streams; of the rest, ~1 in 6 becomes a chaos
+	// scenario: transient faults the retry layer must fully absorb.
 	if rng.Intn(8) == 0 {
 		sc.Cfg.DiskFaultRate = 0.01 + 0.1*rng.Float64()
 		sc.Cfg.FaultSeed = seed
 		sc.Faulty = true
+	} else if rng.Intn(6) == 0 {
+		armChaos(&sc, rng)
 	}
+	return sc
+}
+
+// armChaos turns sc into a recoverable chaos scenario: a low, purely
+// transient disk fault rate, the default retry policy, and sometimes
+// shedding and fault-stress jitter. Recovery is guaranteed by the
+// transient-fault contract, so the full oracle set (minus monotonicity)
+// must hold.
+func armChaos(sc *Scenario, rng *rand.Rand) {
+	sc.Cfg.DiskFaultRate = 0.01 + 0.04*rng.Float64() // <= 0.05
+	sc.Cfg.DiskFaultTransientFrac = 1
+	sc.Cfg.FaultSeed = sc.Seed
+	sc.Cfg.DiskFaultJitter = pick(rng, 0.0, 0.0, 0.2, 0.5)
+	if rng.Intn(2) == 0 {
+		sc.Cfg.Shed = ionode.ShedPolicy{Threshold: 3, Cooldown: 20 * sim.Millisecond}
+	}
+	sc.Cfg.PFS.Retry = pfs.DefaultRetryPolicy()
+	if rng.Intn(3) == 0 {
+		// Arm the per-attempt deadline far above any service time in the
+		// model: the timer machinery runs on every piece without spurious
+		// firings destabilizing recovery.
+		sc.Cfg.PFS.Retry.Timeout = 10 * sim.Second
+	}
+	sc.Faulty = false
+	sc.Recoverable = true
+}
+
+// GenerateChaos expands a seed like Generate and then force-arms the
+// chaos profile, whatever fault class the organic draw chose. Chaos
+// sweeps (`cmd/simcheck -chaos`) use this so every seed exercises the
+// fault-tolerant I/O path.
+func GenerateChaos(seed int64) Scenario {
+	sc := Generate(seed)
+	crng := rand.New(rand.NewSource(seed*2862933555777941757 + 3037000493))
+	armChaos(&sc, crng)
 	return sc
 }
 
@@ -150,6 +197,18 @@ func (sc Scenario) Label() string {
 	}
 	if sc.Faulty {
 		l += fmt.Sprintf(" faults=%.3f", sc.Cfg.DiskFaultRate)
+	}
+	if sc.Recoverable {
+		l += fmt.Sprintf(" chaos=%.3f", sc.Cfg.DiskFaultRate)
+		if sc.Cfg.DiskFaultJitter > 0 {
+			l += fmt.Sprintf(" jitter=%.1f", sc.Cfg.DiskFaultJitter)
+		}
+		if sc.Cfg.Shed.Enabled() {
+			l += " shed"
+		}
+		if sc.Cfg.PFS.Retry.Timeout > 0 {
+			l += " deadline"
+		}
 	}
 	return l
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -38,7 +39,15 @@ const monotoneDelayBump = 50 * sim.Millisecond
 // identically (determinism), once without prefetching (data
 // correctness), and once with a longer compute delay (monotonicity).
 func Check(seed int64) Report {
-	sc := Generate(seed)
+	return checkScenario(Generate(seed))
+}
+
+// checkScenario runs every oracle applicable to the scenario's fault
+// class. Recoverable (chaos) scenarios get the full set minus
+// monotonicity, plus the recovery oracle: the run must succeed outright
+// and never exhaust a retry budget.
+func checkScenario(sc Scenario) Report {
+	seed := sc.Seed
 	rep := Report{Seed: seed, Scenario: sc}
 
 	base := execute(sc.Cfg, sc.Spec)
@@ -47,7 +56,11 @@ func Check(seed int64) Report {
 
 	if base.err != nil {
 		rep.RunErr = base.err
-		if !sc.Faulty {
+		switch {
+		case sc.Recoverable:
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Oracle: "recovery",
+				Detail: fmt.Sprintf("transient faults with retries armed must always recover, run failed: %v", base.err)})
+		case !sc.Faulty:
 			rep.Failures = append(rep.Failures, Failure{Seed: seed, Oracle: "sanity",
 				Detail: fmt.Sprintf("fault-free scenario failed: %v", base.err)})
 		}
@@ -60,6 +73,9 @@ func Check(seed int64) Report {
 	rep.TraceDigest = base.tl.Digest()
 
 	rep.Failures = append(rep.Failures, checkSanity(seed, sc, base)...)
+	if sc.Recoverable {
+		rep.Failures = append(rep.Failures, checkRecovered(seed, base)...)
+	}
 
 	if !sc.Faulty {
 		rep.Failures = append(rep.Failures, checkConservation(seed, sc, base)...)
@@ -81,15 +97,66 @@ func Check(seed int64) Report {
 		// job finish earlier — unless a prefetcher is installed, in which
 		// case longer compute gaps are exactly what lets read-ahead overlap
 		// I/O with computation (the paper's central effect), and elapsed
-		// time may legitimately drop. Only the overlap-free baseline is
-		// required to be monotone.
-		if sc.Spec.Prefetch == nil && sc.Spec.ServerSide == nil {
+		// time may legitimately drop; and under chaos, shifted arrival
+		// times shift which requests draw faults, moving elapsed either
+		// way. Only the overlap-free healthy baseline is required to be
+		// monotone.
+		if sc.Spec.Prefetch == nil && sc.Spec.ServerSide == nil && !sc.Recoverable {
 			spec := sc.Spec
 			spec.ComputeDelay += monotoneDelayBump
 			rep.Failures = append(rep.Failures, checkMonotone(seed, base, execute(sc.Cfg, spec))...)
 		}
 	}
 	return rep
+}
+
+// ChaosReport extends a chaos seed's Report with the retries-off twin's
+// outcome: the same faulty scenario run without the retry layer.
+type ChaosReport struct {
+	Report
+	// UnprotectedErr is the error of the retries-disabled twin run. nil
+	// means the twin got lucky (no fault hit a user-facing request); a
+	// chaos sweep asserts that at least one seed's twin failed, proving
+	// the scenarios genuinely need the protection they exercise.
+	UnprotectedErr error
+}
+
+// CheckChaos force-arms the chaos profile on the seed's scenario, runs
+// the full oracle set, and then replays the identical scenario with the
+// retry layer disabled to observe whether the faults would have been
+// fatal without it.
+func CheckChaos(seed int64) ChaosReport {
+	sc := GenerateChaos(seed)
+	crep := ChaosReport{Report: checkScenario(sc)}
+	twin := sc
+	twin.Cfg.PFS.Retry = pfs.RetryPolicy{}
+	crep.UnprotectedErr = execute(twin.Cfg, twin.Spec).err
+	return crep
+}
+
+// CheckChaosRange is CheckRange over CheckChaos: seeds [start, start+n)
+// on a worker pool, reports delivered to onReport in seed order at every
+// pool width. It returns the failing reports and how many seeds' twin
+// runs failed without retry protection.
+func CheckChaosRange(start int64, n, workers int, stopFirst bool, onReport func(ChaosReport)) (failed []ChaosReport, unprotected int) {
+	sweep.Stream(workers, n, func(i int) ChaosReport {
+		return CheckChaos(start + int64(i))
+	}, func(_ int, rep ChaosReport) bool {
+		if onReport != nil {
+			onReport(rep)
+		}
+		if rep.UnprotectedErr != nil {
+			unprotected++
+		}
+		if !rep.OK() {
+			failed = append(failed, rep)
+			if stopFirst {
+				return false
+			}
+		}
+		return true
+	})
+	return failed, unprotected
 }
 
 // CheckRange checks seeds [start, start+n) across a pool of workers
@@ -134,5 +201,19 @@ func (r Report) Describe(w io.Writer) {
 	}
 	if len(r.Failures) > 0 {
 		fmt.Fprintf(w, "  replay: go run ./cmd/simcheck -seed %d -v\n", r.Seed)
+	}
+}
+
+// Describe writes the chaos report: the protected run's account plus the
+// retries-off twin's fate.
+func (r ChaosReport) Describe(w io.Writer) {
+	r.Report.Describe(w)
+	if r.UnprotectedErr != nil {
+		fmt.Fprintf(w, "  without retries: %v\n", r.UnprotectedErr)
+	} else {
+		fmt.Fprintf(w, "  without retries: survived (no fault hit a user-facing request)\n")
+	}
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(w, "  replay: go run ./cmd/simcheck -chaos -seed %d -v\n", r.Seed)
 	}
 }

@@ -25,6 +25,9 @@ const (
 	PrefetchHit               // read served from a completed buffer
 	PrefetchWait              // read waited on an in-flight prefetch
 	PrefetchMiss              // no buffer matched; direct read
+	RetryIssue                // a failed/timed-out piece re-sent to its I/O node
+	RetryGiveUp               // retry budget exhausted; the error surfaces
+	TimeoutFired              // a piece's reply deadline passed with no reply
 )
 
 // String names the kind.
@@ -46,6 +49,12 @@ func (k Kind) String() string {
 		return "prefetch-wait"
 	case PrefetchMiss:
 		return "prefetch-miss"
+	case RetryIssue:
+		return "retry-issue"
+	case RetryGiveUp:
+		return "retry-giveup"
+	case TimeoutFired:
+		return "timeout-fired"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -20,6 +20,9 @@ func TestKindStrings(t *testing.T) {
 		{PrefetchHit, "prefetch-hit"},
 		{PrefetchWait, "prefetch-wait"},
 		{PrefetchMiss, "prefetch-miss"},
+		{RetryIssue, "retry-issue"},
+		{RetryGiveUp, "retry-giveup"},
+		{TimeoutFired, "timeout-fired"},
 		{Kind(99), "Kind(99)"},
 		{Kind(-1), "Kind(-1)"},
 	}

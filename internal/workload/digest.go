@@ -53,12 +53,19 @@ func (r *Result) Fingerprint() uint64 {
 		for _, s := range r.Machine.Servers {
 			put(uint64(s.Requests))
 			put(uint64(s.Faults))
+			put(uint64(s.Shed))
+		}
+		fs := r.Machine.FS
+		for _, v := range []int64{fs.Retries, fs.Timeouts, fs.GiveUps,
+			fs.DegradedReads, fs.LateReplies, fs.LateBytes} {
+			put(uint64(v))
 		}
 		put(r.Machine.K.Fingerprint())
 	}
 	if p := r.Prefetch; p != nil {
 		for _, v := range []int64{p.Issued, p.Hits, p.HitsInWait, p.Misses,
-			p.Wasted, p.Skipped, p.Fallbacks, p.Throttled, p.BytesCopied, p.BytesDirect} {
+			p.Wasted, p.Skipped, p.Fallbacks, p.Throttled, p.Retired,
+			p.BytesCopied, p.BytesDirect} {
 			put(uint64(v))
 		}
 		put(p.WaitTime.Fingerprint())

@@ -102,6 +102,50 @@ type Result struct {
 	IOBytes         int64            // bytes pulled over the stripe fast path by user-facing instances
 	DeliveryDigests []uint64         // per-node digest of delivered ranges, node order
 	Deliveries      [][]pfs.Delivery // per-node delivered ranges (only with Spec.RecordDeliveries)
+
+	// Fault summarizes the run's fault-tolerance activity (all zero on a
+	// healthy machine with the retry layer disabled).
+	Fault FaultCounters
+}
+
+// FaultCounters aggregates the fault-path counters of the PFS client, the
+// I/O node servers, and the member disks after a run.
+type FaultCounters struct {
+	Retries       int64 // stripe pieces re-issued after a failure or timeout
+	Timeouts      int64 // attempts whose reply deadline fired first
+	GiveUps       int64 // pieces that exhausted the retry budget
+	DegradedReads int64 // reads that succeeded only via >=1 retried piece
+	LateReplies   int64 // replies that lost the race against their timeout
+	LateBytes     int64 // read data delivered late and discarded
+	Shed          int64 // requests fast-failed by shedding I/O nodes
+	DiskTransient int64 // transient faults injected at the disk layer
+	DiskPermanent int64 // permanent faults injected at the disk layer
+	ServerFaults  int64 // requests that failed at the disk layer, server view
+	Retired       int64 // failed prefetches whose buffer slots were reclaimed
+}
+
+// collectFaults fills res.Fault from the machine and prefetcher state.
+func collectFaults(res *Result, m *machine.Machine) {
+	fs := m.FS
+	res.Fault.Retries = fs.Retries
+	res.Fault.Timeouts = fs.Timeouts
+	res.Fault.GiveUps = fs.GiveUps
+	res.Fault.DegradedReads = fs.DegradedReads
+	res.Fault.LateReplies = fs.LateReplies
+	res.Fault.LateBytes = fs.LateBytes
+	for _, s := range m.Servers {
+		res.Fault.Shed += s.Shed
+		res.Fault.ServerFaults += s.Faults
+	}
+	for _, a := range m.Arrays {
+		for _, d := range a.Members() {
+			res.Fault.DiskTransient += d.TransientErrors
+			res.Fault.DiskPermanent += d.PermanentErrors
+		}
+	}
+	if res.Prefetch != nil {
+		res.Fault.Retired = res.Prefetch.Retired
+	}
 }
 
 // Run builds a machine from cfg, lays out the file(s), and drives one
@@ -227,6 +271,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 		}
 	}
 	res.Bandwidth = stats.MBps(res.TotalBytes, res.Elapsed)
+	collectFaults(res, m)
 	return res, nil
 }
 
