@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos detgate ci experiments
+.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos crash detgate golden ci experiments
 
 all: build test
 
@@ -40,6 +40,14 @@ simcheck:
 chaos:
 	$(GO) run ./cmd/simcheck -chaos -seeds 25
 
+# crash force-arms whole-I/O-node outages (and sometimes a permanent
+# RAID member loss with an online rebuild) under restart-aware failover
+# on every seed: every requested byte must be delivered, counted late,
+# or counted unavailable, and at least one seed must be shown fatal with
+# the failover and parity stripped.
+crash:
+	$(GO) run ./cmd/simcheck -crash -seeds 25
+
 # fmt fails (listing the files) if anything is not gofmt-clean.
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -55,16 +63,27 @@ lint:
 		else echo "lint: govulncheck not installed, skipping"; fi
 
 # detgate pins the simulation's determinism (golden fingerprint + trace
-# digests, healthy and chaos runs) and the zero-allocation hot paths.
+# digests: healthy, chaos, and crash runs) and the zero-allocation hot
+# paths.
 detgate:
 	$(GO) run ./cmd/detgate -allocs
 
+# golden regenerates the committed determinism digests
+# (cmd/detgate/golden.digest) from this build. Run it after any
+# deliberate change to the simulation's event history or to the result
+# fingerprint's field set, review the printed digests, and commit the
+# refreshed file together with the change — detgate fails CI until the
+# two agree again.
+golden:
+	$(GO) run ./cmd/detgate -update
+
 # ci reproduces the GitHub Actions pipeline locally: lint, build, race
-# tests, the simcheck and chaos smoke sweeps, the determinism/alloc
+# tests, the simcheck/chaos/crash smoke sweeps, the determinism/alloc
 # gate, and the benchmark smoke.
 ci: fmt vet lint build race
 	$(GO) run -race ./cmd/simcheck -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
+	$(GO) run -race ./cmd/simcheck -crash -seeds 25 -parallel 4
 	$(GO) run ./cmd/detgate -allocs
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/
 	$(GO) run ./cmd/benchsweep -short -o /dev/null

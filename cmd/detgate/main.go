@@ -1,7 +1,9 @@
 // Command detgate is the CI determinism and allocation gate.
 //
-// Determinism: it runs the quickstart scenario (and a chaos variant with
-// transient faults, shedding, and the retry layer armed) twice each,
+// Determinism: it runs the quickstart scenario (plus a chaos variant
+// with transient faults, shedding, and the retry layer armed, and a
+// crash variant with whole-node outages, a RAID member loss, and the
+// online rebuild under restart-aware failover) twice each,
 // requires bit-identical result fingerprints and trace digests between
 // the runs, and then diffs the digests against a committed golden file —
 // so a change that silently moves the simulation's event history fails
@@ -21,6 +23,7 @@ import (
 	"os/exec"
 	"strings"
 
+	"repro/internal/disk"
 	"repro/internal/ionode"
 	"repro/internal/machine"
 	"repro/internal/pfs"
@@ -67,26 +70,63 @@ func chaosMachine() machine.Config {
 	return cfg
 }
 
+// crashMachine arms the crash–restart fault domain on the gate platform:
+// two whole-node outages the restart-aware failover rides out, plus a
+// permanent member loss with the online rebuild racing the reads. The
+// digest pins the crash-domain accounting (crash/restart/drop counters,
+// degraded reads, rebuild progress, unavailable bytes) along with the
+// event history.
+func crashMachine() machine.Config {
+	cfg := gateMachine()
+	cfg.PFS.Retry = pfs.RetryPolicy{
+		MaxRetries:   8,
+		Timeout:      2 * sim.Second,
+		Backoff:      2 * sim.Millisecond,
+		BackoffMax:   100 * sim.Millisecond,
+		Seed:         1,
+		DownPoll:     50 * sim.Millisecond,
+		DownDeadline: 2500 * sim.Millisecond,
+	}
+	cfg.Crash = machine.CrashPlan{
+		Count:    2,
+		Seed:     5,
+		Start:    50 * sim.Millisecond,
+		Window:   400 * sim.Millisecond,
+		Downtime: 800 * sim.Millisecond,
+	}
+	cfg.MemberFail = machine.MemberFailPlan{At: 100 * sim.Millisecond, Array: 0, Member: 1}
+	cfg.Rebuild = disk.RebuildPolicy{Chunk: 128 << 10, Gap: 2 * sim.Millisecond}
+	return cfg
+}
+
 // digests runs the scenario once and returns (fingerprint, traceDigest).
-func digests(cfg machine.Config, name string) (uint64, uint64, error) {
+func digests(sc scenario) (uint64, uint64, error) {
 	tl := trace.NewLog(1 << 18)
-	res, err := workload.Run(cfg, gateSpec(tl))
+	spec := gateSpec(tl)
+	if sc.tweak != nil {
+		sc.tweak(&spec)
+	}
+	res, err := workload.Run(sc.cfg(), spec)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%s run failed: %w", name, err)
+		return 0, 0, fmt.Errorf("%s run failed: %w", sc.name, err)
 	}
 	if res.Fault.GiveUps != 0 {
-		return 0, 0, fmt.Errorf("%s run exhausted %d retry budget(s) under transient faults", name, res.Fault.GiveUps)
+		return 0, 0, fmt.Errorf("%s run exhausted %d retry budget(s) under transient faults", sc.name, res.Fault.GiveUps)
 	}
 	return res.Fingerprint(), tl.Digest(), nil
 }
 
+type scenario struct {
+	name  string
+	cfg   func() machine.Config
+	tweak func(*workload.Spec)
+}
+
 // scenarios are the gated runs, in golden-file line order.
-var scenarios = []struct {
-	name string
-	cfg  func() machine.Config
-}{
-	{"quickstart", gateMachine},
-	{"chaos", chaosMachine},
+var scenarios = []scenario{
+	{"quickstart", gateMachine, nil},
+	{"chaos", chaosMachine, nil},
+	{"crash", crashMachine, func(spec *workload.Spec) { spec.ContinueOnUnavailable = true }},
 }
 
 func main() {
@@ -99,11 +139,11 @@ func main() {
 
 	var lines []string
 	for _, sc := range scenarios {
-		fp1, td1, err := digests(sc.cfg(), sc.name)
+		fp1, td1, err := digests(sc)
 		if err != nil {
 			fatal(err.Error())
 		}
-		fp2, td2, err := digests(sc.cfg(), sc.name)
+		fp2, td2, err := digests(sc)
 		if err != nil {
 			fatal(err.Error())
 		}

@@ -4,30 +4,85 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// DefaultReconstructBW is the modeled XOR reconstruction bandwidth of the
+// array controller: how fast it can recompute a dead member's bytes from
+// the surviving members plus parity. Early-90s RAID controllers did this
+// in firmware at tens of MB/s — far faster than the spindles, so the
+// degraded penalty is a tax, not a cliff.
+const DefaultReconstructBW = 30e6 // bytes per second
+
+// RebuildPolicy throttles the online rebuild of a failed member onto the
+// hot spare. Chunk is how many bytes of the logical volume one rebuild
+// pass copies (bigger chunks finish sooner but hold the spindles longer);
+// Gap is the idle time inserted between passes to yield the members to
+// foreground requests. A zero Chunk disables rebuild pacing sanity and is
+// rejected by StartRebuild.
+type RebuildPolicy struct {
+	Chunk int64    // bytes copied per rebuild pass
+	Gap   sim.Time // pause between passes, ceded to foreground I/O
+}
 
 // Array is a RAID-3-style byte-striped disk array: every request is split
 // evenly across all data members, so the members seek in lockstep and the
 // array behaves like one disk with N× the transfer rate. This matches the
 // SCSI RAID hardware on Paragon I/O nodes, whose arrays presented a
 // single fast logical volume.
+//
+// One member may fail permanently (FailMember). With parity support on —
+// the RAID-3 default — reads continue in degraded mode: the survivors
+// supply their bytes and the controller reconstructs the dead member's
+// share from parity at ReconstructBW. StartRebuild then copies the lost
+// member's contents onto a hot spare in the background, competing with
+// foreground traffic under a RebuildPolicy throttle, and promotes the
+// spare when the copy completes.
 type Array struct {
 	k        *sim.Kernel
+	name     string
+	geo      Geometry
+	sched    Sched
 	members  []*Disk
 	overhead sim.Time // array controller overhead per request
 
+	failed     int     // index of the dead member, -1 while healthy
+	spare      *Disk   // hot spare under rebuild, nil otherwise
+	parity     bool    // degraded operation supported (RAID-3 parity present)
+	reconBW    float64 // parity reconstruction bandwidth, bytes/s
+	highSector int64   // highest member sector ever touched; rebuild bound
+	rebuilding bool
+
+	tr     *trace.Log
+	trNode int
+
 	// Measurements.
-	Requests int64
-	Bytes    int64
+	Requests      int64
+	Bytes         int64
+	DegradedReads int64 // requests served by parity reconstruction
+	RebuildIOs    int64 // background rebuild passes completed
+	RebuildBytes  int64 // bytes written onto the hot spare
+	MemberFails   int64
+	RebuildDoneAt sim.Time // when the spare was promoted (0 if never)
 }
 
 // NewArray builds an array of n data members with the given geometry and
-// scheduling policy on each member.
+// scheduling policy on each member. Parity support (degraded reads) is on
+// by default, as RAID-3 implies.
 func NewArray(k *sim.Kernel, name string, n int, geo Geometry, sched Sched, overhead sim.Time) *Array {
 	if n <= 0 {
 		panic("disk: array needs at least one member")
 	}
-	a := &Array{k: k, overhead: overhead}
+	a := &Array{
+		k:        k,
+		name:     name,
+		geo:      geo,
+		sched:    sched,
+		overhead: overhead,
+		failed:   -1,
+		parity:   true,
+		reconBW:  DefaultReconstructBW,
+	}
 	for i := 0; i < n; i++ {
 		a.members = append(a.members, New(k, fmt.Sprintf("%s.%d", name, i), geo, sched))
 	}
@@ -37,6 +92,51 @@ func NewArray(k *sim.Kernel, name string, n int, geo Geometry, sched Sched, over
 // Members returns the array's member disks (for inspection in tests and
 // stats reporting).
 func (a *Array) Members() []*Disk { return a.members }
+
+// SetParity enables or disables degraded operation. With parity off a
+// member failure is fatal to every request touching the array — the
+// failover-off twin simcheck runs to prove the parity path matters.
+func (a *Array) SetParity(ok bool) { a.parity = ok }
+
+// SetReconstructBW overrides the modeled parity reconstruction bandwidth.
+func (a *Array) SetReconstructBW(bw float64) {
+	if bw <= 0 {
+		panic("disk: reconstruction bandwidth must be positive")
+	}
+	a.reconBW = bw
+}
+
+// SetTrace attaches a trace log; node is stamped on emitted events so the
+// timeline shows which I/O node's array degraded or rebuilt.
+func (a *Array) SetTrace(tl *trace.Log, node int) { a.tr, a.trNode = tl, node }
+
+// Degraded reports whether the array is currently missing a member.
+func (a *Array) Degraded() bool { return a.failed >= 0 }
+
+// Rebuilding reports whether a background rebuild is in progress.
+func (a *Array) Rebuilding() bool { return a.rebuilding }
+
+func (a *Array) emit(kind trace.Kind, off, n int64) {
+	if a.tr != nil {
+		a.tr.Add(trace.Event{T: a.k.Now(), Kind: kind, Node: a.trNode, File: a.name, Off: off, N: n})
+	}
+}
+
+// FailMember kills member i permanently. Requests queued on the drive
+// fail immediately; subsequent array requests run degraded (parity on) or
+// fail (parity off). Only one member may be down at a time — RAID-3
+// survives exactly one loss.
+func (a *Array) FailMember(i int) {
+	if i < 0 || i >= len(a.members) {
+		panic(fmt.Sprintf("disk: array %s has no member %d", a.name, i))
+	}
+	if a.failed >= 0 {
+		panic(fmt.Sprintf("disk: array %s already degraded (member %d down)", a.name, a.failed))
+	}
+	a.failed = i
+	a.MemberFails++
+	a.members[i].Kill()
+}
 
 // Capacity reports the usable capacity in bytes.
 func (a *Array) Capacity() int64 {
@@ -50,7 +150,9 @@ func (a *Array) SectorSize() int64 {
 }
 
 // do splits [off, off+n) bytes across the members and returns a signal
-// that fires when the slowest member completes.
+// that fires when the slowest member completes. In degraded mode the dead
+// member is skipped and (for reads) the completion is delayed by the
+// parity reconstruction of its share.
 func (a *Array) do(off, n int64, write bool) *sim.Signal {
 	if off < 0 || n <= 0 || off+n > a.Capacity() {
 		panic(fmt.Sprintf("disk: array request [%d,+%d) outside %d-byte array", off, n, a.Capacity()))
@@ -70,13 +172,32 @@ func (a *Array) do(off, n int64, write bool) *sim.Signal {
 	if count == 0 {
 		count = 1
 	}
+	if end := sector + count; end > a.highSector {
+		a.highSector = end
+	}
+
+	degraded := a.failed >= 0 && a.parity
+	var recon sim.Time
+	if degraded && !write {
+		a.DegradedReads++
+		a.emit(trace.DegradedRead, off, n)
+		// The controller XORs the survivors' data with parity to
+		// resynthesize the dead member's share.
+		recon = sim.Seconds(float64(count*ss) / a.reconBW)
+	}
 
 	done := sim.NewSignal(a.k)
 	remaining := len(a.members)
+	if degraded {
+		remaining--
+	}
 	var firstErr error
 	at := a.k.Now() + a.overhead
 	a.k.At(at, func() {
-		for _, d := range a.members {
+		for i, d := range a.members {
+			if degraded && i == a.failed {
+				continue
+			}
 			req := &Request{Sector: sector, Count: count, Write: write, Done: sim.NewSignal(a.k)}
 			req.Done.OnFire(func(err error) {
 				if err != nil && firstErr == nil {
@@ -84,7 +205,11 @@ func (a *Array) do(off, n int64, write bool) *sim.Signal {
 				}
 				remaining--
 				if remaining == 0 {
-					done.Fire(firstErr)
+					if recon > 0 && firstErr == nil {
+						a.k.After(recon, func() { done.Fire(nil) })
+					} else {
+						done.Fire(firstErr)
+					}
 				}
 			})
 			d.Submit(req)
@@ -100,3 +225,73 @@ func (a *Array) Read(off, n int64) *sim.Signal { return a.do(off, n, false) }
 // Write starts a write of n bytes at byte offset off and returns its
 // completion signal.
 func (a *Array) Write(off, n int64) *sim.Signal { return a.do(off, n, true) }
+
+// StartRebuild spawns the background rebuild: a hot spare is spun up and
+// the dead member's contents — every sector the array has ever touched —
+// are reconstructed chunk by chunk from the survivors and written onto
+// it. Rebuild reads share the survivors' queues with foreground requests,
+// so the policy's Chunk/Gap trade rebuild time against foreground
+// bandwidth. When the copy completes the spare silently takes the dead
+// member's slot and the array is healthy again.
+func (a *Array) StartRebuild(pol RebuildPolicy) {
+	if a.failed < 0 {
+		panic(fmt.Sprintf("disk: array %s is healthy; nothing to rebuild", a.name))
+	}
+	if !a.parity {
+		panic(fmt.Sprintf("disk: array %s has no parity; cannot rebuild", a.name))
+	}
+	if a.rebuilding {
+		panic(fmt.Sprintf("disk: array %s is already rebuilding", a.name))
+	}
+	ss := a.geo.SectorSize
+	if pol.Chunk < ss {
+		panic(fmt.Sprintf("disk: rebuild chunk %d smaller than a %d-byte sector", pol.Chunk, ss))
+	}
+	if pol.Gap < 0 {
+		panic("disk: rebuild gap must be non-negative")
+	}
+	a.rebuilding = true
+	a.spare = New(a.k, a.name+".spare", a.geo, a.sched)
+	chunkSectors := pol.Chunk / ss
+	end := a.highSector // sectors beyond the high-water mark were never written
+
+	a.k.Go("rebuild/"+a.name, func(p *sim.Proc) {
+		for sector := int64(0); sector < end; sector += chunkSectors {
+			count := min(chunkSectors, end-sector)
+			pass := sim.NewSignal(a.k)
+			remaining := len(a.members) // survivors + the spare write
+			fin := func(error) {
+				// Rebuild retries media hiccups internally; the pass
+				// completes regardless.
+				remaining--
+				if remaining == 0 {
+					pass.Fire(nil)
+				}
+			}
+			for i, d := range a.members {
+				if i == a.failed {
+					continue
+				}
+				req := &Request{Sector: sector, Count: count, Done: sim.NewSignal(a.k)}
+				req.Done.OnFire(fin)
+				d.Submit(req)
+			}
+			w := &Request{Sector: sector, Count: count, Write: true, Done: sim.NewSignal(a.k)}
+			w.Done.OnFire(fin)
+			a.spare.Submit(w)
+			pass.Wait(p) //nolint:errcheck // pass always fires nil
+			a.RebuildIOs++
+			a.RebuildBytes += count * ss
+			a.emit(trace.RebuildIO, sector*ss, count*ss)
+			if pol.Gap > 0 {
+				p.Sleep(pol.Gap)
+			}
+		}
+		a.members[a.failed] = a.spare
+		a.failed = -1
+		a.spare = nil
+		a.rebuilding = false
+		a.RebuildDoneAt = p.Now()
+		a.emit(trace.RebuildDone, 0, end*ss)
+	})
+}

@@ -185,6 +185,7 @@ type Disk struct {
 	queue   []*Request
 	server  *sim.Proc
 	idle    bool
+	dead    bool // drive failed for good: every request errors instantly
 	wake    *sim.Queue[struct{}]
 	cur     int64 // current cylinder
 	nextLBA int64 // sector following the last transfer, -1 initially
@@ -329,6 +330,26 @@ func (d *Disk) faultJitter(t sim.Time) sim.Time {
 	return sim.Time(float64(t) * d.fault.Jitter * d.jitterRng.Float64())
 }
 
+// Kill fails the drive permanently: every queued and future request
+// errors immediately, as a controller reports a drive that stopped
+// answering selection. A request already in service completes (its
+// transfer was in flight when the electronics died is not modeled).
+func (d *Disk) Kill() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	for _, req := range d.queue {
+		d.Errors++
+		d.PermanentErrors++
+		req.Done.Fire(&Error{Disk: d.name, Sector: req.Sector})
+	}
+	d.queue = d.queue[:0]
+}
+
+// Dead reports whether the drive has been killed.
+func (d *Disk) Dead() bool { return d.dead }
+
 // Submit enqueues a request; req.Done fires when it completes. A request
 // extending past the end of the disk panics: the layer above sized the
 // volume wrong.
@@ -339,6 +360,12 @@ func (d *Disk) Submit(req *Request) {
 	}
 	if req.Done == nil {
 		req.Done = sim.NewSignal(d.k)
+	}
+	if d.dead {
+		d.Errors++
+		d.PermanentErrors++
+		req.Done.Fire(&Error{Disk: d.name, Sector: req.Sector})
+		return
 	}
 	req.cylinder = req.Sector / (d.geo.SectorsPerTrack * d.geo.Heads)
 	d.QueueLen.Observe(float64(len(d.queue)))

@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"ext-sensitivity", "Extension: sensitivity of headline claims to calibration", ExtSensitivity},
 		{"ext-ratio", "Extension: compute-to-I/O-node ratio", ExtRatio},
 		{"ext-degraded", "Extension: degraded-mode reads under transient disk faults", ExtDegraded},
+		{"ext-crash", "Extension: I/O-node crashes, degraded reads, and online rebuild", ExtCrash},
 		{"ablation-blocksize", "Ablation: file system block size", AblationBlockSize},
 		{"ablation-depth", "Ablation: prefetch depth", AblationDepth},
 		{"ablation-copy", "Ablation: hit-path copy cost", AblationCopy},

@@ -6,6 +6,13 @@
 // Request handling is event-driven: decode/dispatch costs CPU serialized
 // on the node's processor, the file system and disk layers below provide
 // the queuing, and the reply rides the mesh back to the requester.
+//
+// A server can crash (Crash) and later restart (Restart). While down it
+// drops every arriving request without a reply — clients discover the
+// loss by timeout — and work already in flight when the node died is
+// discarded via an epoch check: completions belonging to a previous
+// incarnation never produce a reply or touch the counters. A restart
+// comes up cold: the UFS buffer cache is wiped and the breaker closed.
 package ionode
 
 import (
@@ -14,6 +21,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/ufs"
 )
 
@@ -26,15 +34,26 @@ var ErrOverloaded = errors.New("ionode: shedding load after repeated disk faults
 
 // ShedPolicy tells a server when to stop trusting its disk. After
 // Threshold consecutive disk-layer faults the server sheds every request
-// for Cooldown of simulated time, then probes again. The zero value
-// disables shedding: requests always reach the disk, as before.
+// for Cooldown of simulated time; the first request after the cooldown
+// is admitted as a probe — its success closes the breaker, its failure
+// re-opens it for another cooldown. The zero value disables shedding:
+// requests always reach the disk, as before.
 type ShedPolicy struct {
 	Threshold int      // consecutive faults that trip the breaker (0 = never)
-	Cooldown  sim.Time // how long to shed before letting requests through
+	Cooldown  sim.Time // how long to shed before probing again
 }
 
 // Enabled reports whether the policy can ever trip.
 func (sp ShedPolicy) Enabled() bool { return sp.Threshold > 0 }
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	bClosed   breakerState = iota // requests flow; consecutive faults counted
+	bOpen                         // shedding until the cooldown deadline
+	bHalfOpen                     // one probe in flight; everything else shed
+)
 
 // Server is one I/O node daemon.
 type Server struct {
@@ -47,15 +66,24 @@ type Server struct {
 	cpuFree  sim.Time // server CPU clock
 
 	shed        ShedPolicy
-	consecFault int      // disk faults since the last success
-	shedUntil   sim.Time // shedding while now < shedUntil
+	breaker     breakerState
+	consecFault int      // disk faults since the last success (closed state)
+	shedUntil   sim.Time // open-state cooldown deadline
+
+	down      bool
+	downUntil sim.Time // advertised restart time while down (0 when up)
+	epoch     uint64   // incarnation counter; bumped by every crash
+	tr        *trace.Log
 
 	// Measurements.
 	Requests      int64
 	BytesServed   int64
-	Faults        int64           // requests that failed at the disk layer
-	Shed          int64           // requests fast-failed while the breaker was open
-	PrefetchHints int64           // server-side cache-warming hints received
+	Faults        int64 // requests that failed at the disk layer
+	Shed          int64 // requests fast-failed while the breaker was open
+	PrefetchHints int64 // server-side cache-warming hints received
+	Crashes       int64
+	Restarts      int64
+	Dropped       int64           // requests that vanished into a down/crashing node
 	Service       stats.Histogram // request residency at this node, seconds
 }
 
@@ -75,18 +103,123 @@ func (s *Server) FS() *ufs.FS { return s.fs }
 // fault breaker.
 func (s *Server) SetShedPolicy(p ShedPolicy) { s.shed = p }
 
-// Shedding reports whether the breaker is open at time now.
-func (s *Server) Shedding(now sim.Time) bool { return now < s.shedUntil }
+// SetTrace attaches a trace log for crash/restart lifecycle events.
+func (s *Server) SetTrace(tl *trace.Log) { s.tr = tl }
 
-// noteDisk feeds the breaker one disk-layer outcome: a success closes
-// it, Threshold consecutive faults open it for Cooldown.
-func (s *Server) noteDisk(failed bool) {
+func (s *Server) emit(kind trace.Kind, n int64) {
+	if s.tr != nil {
+		s.tr.Add(trace.Event{T: s.k.Now(), Kind: kind, Node: s.node, N: n})
+	}
+}
+
+// Crash takes the node down until the given restart time: every queued
+// and future request is dropped without a reply, work in flight is
+// discarded when it completes (the epoch moved on), and the UFS cache is
+// wiped. The mesh must separately be told to drop deliveries
+// (mesh.SetDown); the machine layer does both.
+func (s *Server) Crash(until sim.Time) {
+	s.Crashes++
+	s.down = true
+	s.downUntil = until
+	s.epoch++
+	s.fs.CrashReset()
+	s.emit(trace.NodeCrash, int64(until-s.k.Now()))
+}
+
+// Restart brings a crashed node back up, cold: CPU clock reset, breaker
+// closed, cache already wiped by the crash.
+func (s *Server) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.downUntil = 0
+	s.cpuFree = s.k.Now()
+	s.breaker = bClosed
+	s.consecFault = 0
+	s.shedUntil = 0
+	s.Restarts++
+	s.emit(trace.NodeRestart, 0)
+}
+
+// Down reports whether the node is currently crashed.
+func (s *Server) Down() bool { return s.down }
+
+// DownUntil returns the advertised restart time while down (zero when
+// up). The retry layer uses it for restart-aware backoff — the real PFS
+// daemons exchanged heartbeats; here the schedule is known.
+func (s *Server) DownUntil() sim.Time { return s.downUntil }
+
+// Shedding reports whether the breaker would shed a request arriving at
+// time now (the half-open probe slot counts as not shedding).
+func (s *Server) Shedding(now sim.Time) bool {
+	if !s.shed.Enabled() {
+		return false
+	}
+	switch s.breaker {
+	case bOpen:
+		return now < s.shedUntil
+	case bHalfOpen:
+		return true
+	default:
+		return false
+	}
+}
+
+// admit runs the breaker's admission decision for one request. probe is
+// true for the single half-open probe request; exactly one is granted
+// per cooldown expiry.
+func (s *Server) admit() (shed, probe bool) {
+	if !s.shed.Enabled() {
+		return false, false
+	}
+	switch s.breaker {
+	case bOpen:
+		if s.k.Now() >= s.shedUntil {
+			s.breaker = bHalfOpen
+			return false, true
+		}
+		return true, false
+	case bHalfOpen:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// probeAbort releases the half-open probe slot when the probe request
+// died before producing a disk verdict (bad request, crash): the breaker
+// returns to open with the cooldown already expired, so the next request
+// becomes the new probe.
+func (s *Server) probeAbort() {
+	if s.breaker == bHalfOpen {
+		s.breaker = bOpen
+	}
+}
+
+// noteDisk feeds the breaker one disk-layer outcome. A probe outcome is
+// decisive: success closes the breaker, failure re-opens it for a fresh
+// cooldown. Non-probe outcomes count consecutive faults only while the
+// breaker is closed — stragglers admitted before the trip must not
+// double-trip it.
+func (s *Server) noteDisk(failed, probe bool) {
+	if probe {
+		if failed {
+			s.breaker = bOpen
+			s.shedUntil = s.k.Now() + s.shed.Cooldown
+		} else {
+			s.breaker = bClosed
+		}
+		s.consecFault = 0
+		return
+	}
 	if !failed {
 		s.consecFault = 0
 		return
 	}
 	s.consecFault++
-	if s.shed.Enabled() && s.consecFault >= s.shed.Threshold {
+	if s.shed.Enabled() && s.breaker == bClosed && s.consecFault >= s.shed.Threshold {
+		s.breaker = bOpen
 		s.shedUntil = s.k.Now() + s.shed.Cooldown
 		s.consecFault = 0
 	}
@@ -94,13 +227,13 @@ func (s *Server) noteDisk(failed bool) {
 
 // maybeShed fast-fails the request with ErrOverloaded while the breaker
 // is open. Must run on the server CPU (inside onCPU).
-func (s *Server) maybeShed(from int, reply func(error)) bool {
-	if !s.Shedding(s.k.Now()) {
-		return false
+func (s *Server) maybeShed(from int, reply func(error)) (shed, probe bool) {
+	shed, probe = s.admit()
+	if shed {
+		s.Shed++
+		s.m.Send(s.node, from, 64, func() { reply(ErrOverloaded) })
 	}
-	s.Shed++
-	s.m.Send(s.node, from, 64, func() { reply(ErrOverloaded) })
-	return true
+	return shed, probe
 }
 
 // Read serves a stripe read: n bytes at off of local file name, on behalf
@@ -109,20 +242,40 @@ func (s *Server) maybeShed(from int, reply func(error)) bool {
 // Must be called in simulation context at this node — normally from a
 // mesh delivery callback.
 func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply func(error)) {
+	if s.down {
+		s.Dropped++
+		return
+	}
 	s.Requests++
 	start := s.k.Now()
+	epoch := s.epoch
 	s.onCPU(func() {
-		if s.maybeShed(from, reply) {
+		if s.epoch != epoch {
+			s.Dropped++
+			return
+		}
+		shed, probe := s.maybeShed(from, reply)
+		if shed {
 			return
 		}
 		sig, err := s.fs.Read(name, off, n, ufs.ReadOptions{FastPath: fastPath})
 		if err != nil {
+			if probe {
+				s.probeAbort()
+			}
 			// Error replies are small control messages.
 			s.m.Send(s.node, from, 64, func() { reply(err) })
 			return
 		}
 		sig.OnFire(func(ioErr error) {
-			s.noteDisk(ioErr != nil)
+			if s.epoch != epoch {
+				// The node crashed while the disk worked. The data (or
+				// error) belongs to a dead incarnation: no reply, no
+				// accounting.
+				s.Dropped++
+				return
+			}
+			s.noteDisk(ioErr != nil, probe)
 			if ioErr != nil {
 				s.Faults++
 				s.m.Send(s.node, from, 64, func() { reply(ioErr) })
@@ -141,8 +294,17 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 // name without shipping data anywhere: the server-side prefetch
 // placement. Fire-and-forget — errors on a speculative read are dropped.
 func (s *Server) Prefetch(name string, off, n int64) {
+	if s.down {
+		s.Dropped++
+		return
+	}
 	s.PrefetchHints++
+	epoch := s.epoch
 	s.onCPU(func() {
+		if s.epoch != epoch {
+			s.Dropped++
+			return
+		}
 		if s.Shedding(s.k.Now()) {
 			s.Shed++
 			return // no reply to drop: hints are one-way
@@ -152,7 +314,12 @@ func (s *Server) Prefetch(name string, off, n int64) {
 			return
 		}
 		// Even a speculative read's outcome is evidence about disk health.
-		sig.OnFire(func(ioErr error) { s.noteDisk(ioErr != nil) })
+		sig.OnFire(func(ioErr error) {
+			if s.epoch != epoch {
+				return
+			}
+			s.noteDisk(ioErr != nil, false)
+		})
 	})
 }
 
@@ -160,19 +327,36 @@ func (s *Server) Prefetch(name string, off, n int64) {
 // data travelled with the request (the caller charged the mesh for it);
 // the reply is a small acknowledgement.
 func (s *Server) Write(from int, name string, off, n int64, reply func(error)) {
+	if s.down {
+		s.Dropped++
+		return
+	}
 	s.Requests++
 	start := s.k.Now()
+	epoch := s.epoch
 	s.onCPU(func() {
-		if s.maybeShed(from, reply) {
+		if s.epoch != epoch {
+			s.Dropped++
+			return
+		}
+		shed, probe := s.maybeShed(from, reply)
+		if shed {
 			return
 		}
 		sig, err := s.fs.Write(name, off, n)
 		if err != nil {
+			if probe {
+				s.probeAbort()
+			}
 			s.m.Send(s.node, from, 64, func() { reply(err) })
 			return
 		}
 		sig.OnFire(func(ioErr error) {
-			s.noteDisk(ioErr != nil)
+			if s.epoch != epoch {
+				s.Dropped++
+				return
+			}
+			s.noteDisk(ioErr != nil, probe)
 			if ioErr != nil {
 				s.Faults++
 				s.m.Send(s.node, from, 64, func() { reply(ioErr) })

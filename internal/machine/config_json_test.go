@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
 )
 
 func TestConfigRoundTrip(t *testing.T) {
@@ -11,6 +14,13 @@ func TestConfigRoundTrip(t *testing.T) {
 	orig := DefaultConfig()
 	orig.ComputeNodes = 16
 	orig.DiskFaultRate = 0.01
+	// Every crash-domain knob gets a non-zero value so a dropped or
+	// renamed JSON field fails the comparison below.
+	orig.Crash = CrashPlan{Count: 2, Seed: 7, Start: sim.Second,
+		Window: 2 * sim.Second, Downtime: 500 * sim.Millisecond}
+	orig.MemberFail = MemberFailPlan{At: 3 * sim.Second, Array: 1, Member: 2}
+	orig.Rebuild = disk.RebuildPolicy{Chunk: 128 << 10, Gap: 5 * sim.Millisecond}
+	orig.NoParity = true
 	if err := SaveConfig(path, orig); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// TestCrashPlanLifecycle: a scheduled whole-node crash takes one I/O node
+// down mid-workload; with restart-aware retries armed the reader rides it
+// out and every byte is still delivered after the node returns.
+func TestCrashPlanLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 2
+	cfg.UFS.Fragmentation = 0
+	cfg.PFS.Retry = pfs.RetryPolicy{
+		MaxRetries: 8,
+		Timeout:    200 * sim.Millisecond,
+		Backoff:    2 * sim.Millisecond,
+		BackoffMax: 50 * sim.Millisecond,
+		Seed:       1,
+		DownPoll:   10 * sim.Millisecond,
+		// DownDeadline zero: wait out the crash however long it takes.
+	}
+	cfg.Crash = CrashPlan{
+		Count:    1,
+		Seed:     3,
+		Start:    10 * sim.Millisecond,
+		Window:   10 * sim.Millisecond,
+		Downtime: 150 * sim.Millisecond,
+	}
+	m := Build(cfg)
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			n, err := f.Read(p, 64<<10)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			got += n
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1<<20 {
+		t.Fatalf("delivered %d bytes, want %d", got, 1<<20)
+	}
+	var crashes, restarts int64
+	for _, s := range m.Servers {
+		crashes += s.Crashes
+		restarts += s.Restarts
+	}
+	if crashes != 1 || restarts != 1 {
+		t.Fatalf("crashes=%d restarts=%d, want 1/1", crashes, restarts)
+	}
+	// The outage was observed by the client one way or the other.
+	if m.FS.DownWaits == 0 && m.FS.Timeouts == 0 {
+		t.Fatal("crash left no trace on the retry layer")
+	}
+}
+
+// TestMemberFailDegradedAndRebuild: a RAID member dies mid-workload; the
+// array serves degraded reads and the online rebuild promotes the spare.
+func TestMemberFailDegradedAndRebuild(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 2
+	cfg.UFS.Fragmentation = 0
+	cfg.MemberFail = MemberFailPlan{At: 50 * sim.Millisecond, Array: 0, Member: 1}
+	cfg.Rebuild = disk.RebuildPolicy{Chunk: 64 << 10, Gap: sim.Millisecond}
+	m := Build(cfg)
+	if err := m.FS.Create("f", 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			if _, err := f.Read(p, 64<<10); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Arrays[0]
+	if a.MemberFails != 1 {
+		t.Fatalf("MemberFails = %d, want 1", a.MemberFails)
+	}
+	if a.DegradedReads == 0 {
+		t.Fatal("no read ran degraded between failure and rebuild")
+	}
+	if a.RebuildDoneAt == 0 || a.Degraded() || a.Rebuilding() {
+		t.Fatalf("rebuild did not complete: doneAt=%v degraded=%v rebuilding=%v",
+			a.RebuildDoneAt, a.Degraded(), a.Rebuilding())
+	}
+	if a.RebuildBytes == 0 {
+		t.Fatal("rebuild copied no bytes")
+	}
+}
+
+// TestCrashPlanValidation: an armed plan with a zero window or downtime
+// is a configuration bug and must panic at build time.
+func TestCrashPlanValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Crash = CrashPlan{Count: 1, Window: 0, Downtime: sim.Second}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-window crash plan did not panic")
+		}
+	}()
+	Build(cfg)
+}

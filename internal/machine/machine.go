@@ -6,14 +6,45 @@ package machine
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"repro/internal/disk"
 	"repro/internal/ionode"
 	"repro/internal/mesh"
 	"repro/internal/pfs"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/ufs"
 )
+
+// CrashPlan schedules whole-I/O-node crashes: Count nodes (drawn with a
+// seeded generator, possibly the same node twice) crash at times drawn
+// uniformly from (Start, Start+Window] and restart Downtime later. The
+// zero plan disables crashes. Overlapping intervals on one node merge
+// into a single longer outage.
+type CrashPlan struct {
+	Count    int      // crashes to schedule (0 disables)
+	Seed     int64    // draws the victims and crash times
+	Start    sim.Time // earliest crash time
+	Window   sim.Time // crash times fall in (Start, Start+Window]
+	Downtime sim.Time // outage length per crash
+}
+
+// Enabled reports whether the plan schedules any crash.
+func (cp CrashPlan) Enabled() bool { return cp.Count > 0 }
+
+// MemberFailPlan kills one RAID member permanently at time At (0
+// disables): the array runs degraded from then on, rebuilding onto a hot
+// spare if Config.Rebuild is armed.
+type MemberFailPlan struct {
+	At     sim.Time // when the drive dies (0 disables)
+	Array  int      // which I/O node's array
+	Member int      // which member disk
+}
+
+// Enabled reports whether a member failure is scheduled.
+func (mp MemberFailPlan) Enabled() bool { return mp.At > 0 }
 
 // Config describes the machine to build. Zero values are filled from
 // DefaultConfig by Build, so callers can override selectively.
@@ -50,6 +81,19 @@ type Config struct {
 	// Threshold consecutive disk faults a node fast-fails requests for
 	// Cooldown. The zero policy disables shedding.
 	Shed ionode.ShedPolicy
+
+	// Crash schedules whole-I/O-node crash–restart cycles.
+	Crash CrashPlan
+	// MemberFail kills one RAID member for good at a fixed time.
+	MemberFail MemberFailPlan
+	// Rebuild, when its Chunk is non-zero, starts the online rebuild onto
+	// a hot spare as soon as the member fails (ignored with NoParity).
+	Rebuild disk.RebuildPolicy
+	// NoParity strips the arrays of their parity: a dead member makes
+	// every request touching the array fail instead of running degraded.
+	// This is the failover-off twin configuration simcheck uses to prove
+	// the parity path matters.
+	NoParity bool
 }
 
 // DefaultConfig returns the paper's evaluation platform: 8 compute nodes
@@ -122,6 +166,9 @@ func Build(cfg Config) *Machine {
 				})
 			}
 		}
+		if cfg.NoParity {
+			array.SetParity(false)
+		}
 		ucfg := cfg.UFS
 		ucfg.Seed = cfg.UFS.Seed + int64(i)*7919 // distinct, deterministic layouts
 		fs := ufs.New(k, array, ucfg)
@@ -130,7 +177,93 @@ func Build(cfg Config) *Machine {
 		mach.Servers = append(mach.Servers, srv)
 	}
 	mach.FS = pfs.Mount(k, m, mach.Servers, cfg.PFS)
+	mach.scheduleCrashes(cfg.Crash)
+	mach.scheduleMemberFail(cfg)
 	return mach
+}
+
+// scheduleCrashes pre-plans the whole-node outages: victims and crash
+// times come from the plan's own generator at build time, so the
+// schedule is fixed before the first event runs and identical across
+// runs. Overlapping outages of one node merge.
+func (m *Machine) scheduleCrashes(plan CrashPlan) {
+	if !plan.Enabled() {
+		return
+	}
+	if plan.Window <= 0 || plan.Downtime <= 0 {
+		panic(fmt.Sprintf("machine: crash plan needs positive Window and Downtime, got %v/%v",
+			plan.Window, plan.Downtime))
+	}
+	rng := rand.New(rand.NewSource(plan.Seed))
+	type outage struct{ at, until sim.Time }
+	perNode := make([][]outage, len(m.Servers))
+	for c := 0; c < plan.Count; c++ {
+		node := rng.Intn(len(m.Servers))
+		at := plan.Start + sim.Time(1+rng.Int63n(int64(plan.Window)))
+		perNode[node] = append(perNode[node], outage{at: at, until: at + plan.Downtime})
+	}
+	for i, list := range perNode {
+		if len(list) == 0 {
+			continue
+		}
+		sort.Slice(list, func(a, b int) bool { return list[a].at < list[b].at })
+		merged := []outage{list[0]}
+		for _, o := range list[1:] {
+			if last := &merged[len(merged)-1]; o.at <= last.until {
+				if o.until > last.until {
+					last.until = o.until
+				}
+			} else {
+				merged = append(merged, o)
+			}
+		}
+		srv := m.Servers[i]
+		for _, o := range merged {
+			o := o
+			m.K.At(o.at, func() {
+				m.Mesh.SetDown(srv.Node(), true)
+				srv.Crash(o.until)
+			})
+			m.K.At(o.until, func() {
+				m.Mesh.SetDown(srv.Node(), false)
+				srv.Restart()
+			})
+		}
+	}
+}
+
+// scheduleMemberFail arms the RAID member death (and, when configured,
+// the online rebuild that follows it).
+func (m *Machine) scheduleMemberFail(cfg Config) {
+	if !cfg.MemberFail.Enabled() {
+		return
+	}
+	ai, mi := cfg.MemberFail.Array, cfg.MemberFail.Member
+	if ai < 0 || ai >= len(m.Arrays) {
+		panic(fmt.Sprintf("machine: member-fail array %d outside %d arrays", ai, len(m.Arrays)))
+	}
+	if mi < 0 || mi >= len(m.Arrays[ai].Members()) {
+		panic(fmt.Sprintf("machine: member-fail member %d outside array of %d", mi, len(m.Arrays[ai].Members())))
+	}
+	array := m.Arrays[ai]
+	rebuild := cfg.Rebuild
+	noParity := cfg.NoParity
+	m.K.At(cfg.MemberFail.At, func() {
+		array.FailMember(mi)
+		if rebuild.Chunk > 0 && !noParity {
+			array.StartRebuild(rebuild)
+		}
+	})
+}
+
+// SetTrace attaches tl to every server and array so node crashes,
+// degraded reads, and rebuild progress appear on the workload timeline
+// alongside the PFS events.
+func (m *Machine) SetTrace(tl *trace.Log) {
+	for i, s := range m.Servers {
+		s.SetTrace(tl)
+		m.Arrays[i].SetTrace(tl, s.Node())
+	}
 }
 
 // Config returns the configuration the machine was built with (geometry

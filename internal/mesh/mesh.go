@@ -80,10 +80,12 @@ type Mesh struct {
 	linkFree   []sim.Time // per-link clock, indexed linkIndex(node, dir): earliest next use
 	injectFree []sim.Time // per-node injection port clock
 	ejectFree  []sim.Time // per-node ejection port clock
+	down       []bool     // nodes whose deliveries are dropped (crashed)
 
 	// Measurements.
 	Messages int64
 	Bytes    int64
+	Dropped  int64           // messages addressed to a down node
 	Latency  stats.Histogram // end-to-end message latency, seconds
 }
 
@@ -103,7 +105,20 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 		linkFree:   make([]sim.Time, n*4),
 		injectFree: make([]sim.Time, n),
 		ejectFree:  make([]sim.Time, n),
+		down:       make([]bool, n),
 	}
+}
+
+// SetDown marks a node slot down (or back up). Messages addressed to a
+// down node traverse the mesh — the links do not know the destination
+// died — but the delivery callback never runs: the NIC has no host to
+// hand the message to. Senders see nothing, exactly like the real
+// machine, and discover the loss by timeout.
+func (m *Mesh) SetDown(node int, down bool) {
+	if node < 0 || node >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: node %d outside %d-node mesh", node, m.Nodes()))
+	}
+	m.down[node] = down
 }
 
 // Nodes reports the number of node slots in the mesh.
@@ -224,6 +239,10 @@ func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
 	deliveredAt := ejStart + nicXfer + m.cfg.RecvOverhead
 
 	m.Latency.Observe((deliveredAt - now).Seconds())
+	if m.down[dst] {
+		m.Dropped++
+		return deliveredAt
+	}
 	if deliver != nil {
 		m.k.At(deliveredAt, deliver)
 	}

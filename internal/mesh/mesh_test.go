@@ -261,3 +261,47 @@ func TestRandomTrafficDelivers(t *testing.T) {
 		t.Fatalf("delivered %d of %d", delivered, msgs)
 	}
 }
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	m.SetDown(5, true)
+	delivered := false
+	m.Send(0, 5, 4096, func() { delivered = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered {
+		t.Fatal("message delivered to a down node")
+	}
+	if m.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", m.Dropped)
+	}
+	// The sender still paid for the attempt: stats and link clocks moved.
+	if m.Messages != 1 || m.Bytes != 4096 {
+		t.Fatalf("Messages=%d Bytes=%d, want 1/4096", m.Messages, m.Bytes)
+	}
+	// Back up: traffic flows again.
+	m.SetDown(5, false)
+	m.Send(0, 5, 4096, func() { delivered = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("message to a restarted node not delivered")
+	}
+	if m.Dropped != 1 {
+		t.Fatalf("Dropped = %d after restart, want still 1", m.Dropped)
+	}
+}
+
+func TestSetDownBoundsPanic(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetDown out of range did not panic")
+		}
+	}()
+	m.SetDown(99, true)
+}

@@ -101,6 +101,12 @@ type FileSystem struct {
 	DegradedReads int64 // read ops that succeeded only via >=1 retried piece
 	LateReplies   int64 // replies that arrived after their attempt timed out
 	LateBytes     int64 // read data delivered by late replies and discarded
+
+	// Crash-failover measurements (all zero unless RetryPolicy.DownPoll
+	// is armed and a node actually goes down).
+	DownWaits      int64 // pieces parked awaiting a crashed node's restart
+	Unavailable    int64 // pieces failed with ErrUnavailable (node dead past deadline)
+	AbandonedBytes int64 // read bytes whose pieces succeeded inside ops that overall failed
 }
 
 // Mount creates a PFS over the given I/O node servers.
@@ -304,6 +310,7 @@ func (fsys *FileSystem) stripeIO(node int, meta *fileMeta, off, n int64, write b
 	remaining := len(pieces)
 	var firstErr error
 	recovered := false
+	okBytes := int64(0) // read bytes of pieces that individually succeeded
 	finishOne := func(err error, retried bool) {
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -314,11 +321,24 @@ func (fsys *FileSystem) stripeIO(node int, meta *fileMeta, off, n int64, write b
 			if firstErr == nil && recovered && !write {
 				fsys.DegradedReads++
 			}
+			if firstErr != nil && !write {
+				// The op fails as a whole, but some pieces were served:
+				// the server paid for those bytes, the application never
+				// sees them. Account them so no byte goes missing.
+				fsys.AbandonedBytes += okBytes
+			}
 			done.Fire(firstErr)
 		}
 	}
+	first := fsys.k.Now()
 	for _, pc := range pieces {
-		fsys.sendPiece(node, meta, pc, write, 0, finishOne)
+		pc := pc
+		fsys.sendPiece(node, meta, pc, write, 0, first, func(err error, retried bool) {
+			if err == nil && !write {
+				okBytes += pc.n
+			}
+			finishOne(err, retried)
+		})
 	}
 	return done
 }

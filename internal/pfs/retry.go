@@ -13,6 +13,13 @@ import (
 // what a read surfaces when the retry budget runs out on timeouts alone.
 var ErrTimeout = errors.New("pfs: stripe request timed out")
 
+// ErrUnavailable marks a stripe request aimed at an I/O node that is
+// down and cannot be back before the request's deadline. It is
+// deterministic — decided from the advertised restart time, not from
+// racing timers — and is never retried: the workload layer counts these
+// reads and carries on.
+var ErrUnavailable = errors.New("pfs: I/O node unavailable past deadline")
+
 // RetryPolicy is the client side of the fault-tolerant I/O path: every
 // declustered piece gets a reply deadline and a bounded number of
 // re-issues with exponentially growing, deterministically jittered
@@ -27,6 +34,18 @@ type RetryPolicy struct {
 	Backoff    sim.Time // delay before the first re-issue; doubles each attempt
 	BackoffMax sim.Time // cap on the exponential growth (0 = uncapped)
 	Seed       int64    // decorrelates the jitter streams of different mounts
+
+	// DownPoll arms node-down awareness: a piece aimed at a node known to
+	// be down is parked until the node's advertised restart time (but at
+	// least DownPoll from now) instead of burning the retry budget on
+	// timeouts the node can never answer. Zero disables the distinction —
+	// down nodes look like silent ones, as before.
+	DownPoll sim.Time
+	// DownDeadline bounds how long a piece will wait out a crash, measured
+	// from its first issue. A piece whose node cannot restart before the
+	// deadline fails immediately with ErrUnavailable (no pointless wait);
+	// zero means wait for the restart however long it takes.
+	DownDeadline sim.Time
 }
 
 // DefaultRetryPolicy returns the policy the degraded-mode experiments
@@ -80,25 +99,32 @@ func (rp RetryPolicy) delay(node int, localOff int64, attempt int) sim.Time {
 // arriving after the timeout already settled it is counted and
 // dropped) — and a settled failure either re-issues the piece after the
 // backoff delay or gives up and surfaces the error to finish.
-func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool, attempt int, finish func(err error, retried bool)) {
+//
+// first is the time the piece's very first attempt was issued; the
+// down-node deadline is measured from it across all re-issues.
+func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool, attempt int, first sim.Time, finish func(err error, retried bool)) {
 	srv := fsys.servers[meta.group[pc.server]]
+	pol := fsys.cfg.Retry
+	if pol.DownPoll > 0 && srv.Down() {
+		// Known down before anything hit the wire: park, don't send.
+		fsys.deferToRestart(node, meta, pc, write, attempt, first, finish)
+		return
+	}
 	reqBytes := fsys.cfg.RequestBytes
 	if write {
 		reqBytes += pc.n // write data travels with the request
 	}
 	if attempt == 0 {
 		fsys.emit(trace.StripeSend, srv.Node(), meta.name, pc.localOff, pc.n)
-	} else {
-		fsys.emit(trace.RetryIssue, srv.Node(), meta.name, pc.localOff, pc.n)
 	}
 
-	pol := fsys.cfg.Retry
 	settled := false
 	settle := func(err error) {
-		if err != nil && attempt < pol.MaxRetries {
+		if err != nil && !errors.Is(err, ErrUnavailable) && attempt < pol.MaxRetries {
 			fsys.Retries++
+			fsys.emit(trace.RetryIssue, srv.Node(), meta.name, pc.localOff, pc.n)
 			fsys.k.After(pol.delay(node, pc.localOff, attempt), func() {
-				fsys.sendPiece(node, meta, pc, write, attempt+1, finish)
+				fsys.sendPiece(node, meta, pc, write, attempt+1, first, finish)
 			})
 			return
 		}
@@ -131,6 +157,13 @@ func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool
 			settled = true
 			fsys.Timeouts++
 			fsys.emit(trace.TimeoutFired, srv.Node(), meta.name, pc.localOff, pc.n)
+			if pol.DownPoll > 0 && srv.Down() {
+				// The deadline was the discovery that the node died, not
+				// evidence against a live one: the attempt does not burn
+				// retry budget, the piece re-arms on the restart.
+				fsys.deferToRestart(node, meta, pc, write, attempt, first, finish)
+				return
+			}
 			settle(fmt.Errorf("%w: [%d,+%d) on I/O node %d, attempt %d",
 				ErrTimeout, pc.localOff, pc.n, srv.Node(), attempt))
 		})
@@ -141,5 +174,34 @@ func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool
 		} else {
 			srv.Read(node, meta.localName(), pc.localOff, pc.n, fsys.cfg.FastPath, reply)
 		}
+	})
+}
+
+// deferToRestart parks a piece aimed at a node known to be down. If the
+// node's advertised restart leaves no room before the piece's deadline
+// the piece fails now with ErrUnavailable — deterministically, without
+// waiting out the crash. Otherwise the piece re-arms at the restart time
+// (but no sooner than DownPoll from now) with its attempt budget intact.
+func (fsys *FileSystem) deferToRestart(node int, meta *fileMeta, pc piece, write bool, attempt int, first sim.Time, finish func(err error, retried bool)) {
+	srv := fsys.servers[meta.group[pc.server]]
+	pol := fsys.cfg.Retry
+	now := fsys.k.Now()
+	restart := srv.DownUntil()
+	if pol.DownDeadline > 0 {
+		deadline := first + pol.DownDeadline
+		if now >= deadline || restart > deadline {
+			fsys.Unavailable++
+			finish(fmt.Errorf("%w: [%d,+%d) on I/O node %d (restart %v, deadline %v)",
+				ErrUnavailable, pc.localOff, pc.n, srv.Node(), restart, deadline), attempt > 0)
+			return
+		}
+	}
+	fsys.DownWaits++
+	wait := pol.DownPoll
+	if restart > now && restart-now > wait {
+		wait = restart - now
+	}
+	fsys.k.After(wait, func() {
+		fsys.sendPiece(node, meta, pc, write, attempt, first, finish)
 	})
 }

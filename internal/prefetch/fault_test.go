@@ -174,3 +174,71 @@ func TestPrefetchRetryBudgetExhaustedLeaksNoSlot(t *testing.T) {
 		t.Errorf("Fallbacks/Hits = %d/%d, want 0/0 (slot reclaimed before the read)", pf.Fallbacks, pf.Hits)
 	}
 }
+
+// TestPrefetchIntoCrashRetiresSlot: an in-flight prefetch aimed at an I/O
+// node that crashes before replying must fail deterministically
+// (ErrUnavailable once the node's restart is past the down deadline) and
+// retire its buffer slot; the demand read for the same record succeeds
+// once the node is back.
+func TestPrefetchIntoCrashRetiresSlot(t *testing.T) {
+	mcfg := smallMachine()
+	mcfg.PFS.Retry = pfs.RetryPolicy{
+		MaxRetries:   4,
+		Timeout:      100 * sim.Millisecond,
+		Backoff:      sim.Millisecond,
+		BackoffMax:   10 * sim.Millisecond,
+		Seed:         1,
+		DownPoll:     5 * sim.Millisecond,
+		DownDeadline: 60 * sim.Millisecond,
+	}
+	m := machine.Build(mcfg)
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	pf := prefetch.New(m.K, prefetch.DefaultConfig())
+	var outstandingAfterCrash int
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Errorf("first read: %v", err)
+			return
+		}
+		// The prefetch for record 2 targets the second stripe-group member
+		// (64 KB stripe unit, one record per server). Kill that node for
+		// 200 ms — far past the 60 ms down deadline, so the prefetch cannot
+		// wait it out.
+		srv := m.Servers[1]
+		m.Mesh.SetDown(srv.Node(), true)
+		srv.Crash(p.Now() + 200*sim.Millisecond)
+		m.K.After(200*sim.Millisecond, func() {
+			m.Mesh.SetDown(srv.Node(), false)
+			srv.Restart()
+		})
+		p.Sleep(300 * sim.Millisecond)
+		outstandingAfterCrash = pf.Outstanding(f)
+		// The node is back: the demand read for the lost record succeeds.
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Errorf("read after crash: %v", err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if outstandingAfterCrash != 0 {
+		t.Fatalf("crashed prefetch still holds %d buffer slot(s)", outstandingAfterCrash)
+	}
+	if pf.Retired != 1 {
+		t.Fatalf("Retired = %d, want 1", pf.Retired)
+	}
+	if m.FS.Unavailable == 0 {
+		t.Fatal("crash did not surface as ErrUnavailable on the retry layer")
+	}
+	if m.FS.GiveUps != 0 {
+		t.Fatalf("GiveUps = %d; unavailability must not count as budget exhaustion", m.FS.GiveUps)
+	}
+}

@@ -1,0 +1,109 @@
+package simcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashSweep is the in-tree crash smoke sweep: every seed force-arms
+// whole-node outages under the restart-aware failover and must account
+// for every requested byte — the acceptance bar of the crash–restart
+// fault domain.
+func TestCrashSweep(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	var unprotected int
+	for seed := int64(1); seed <= int64(n); seed++ {
+		rep := CheckCrash(seed)
+		if !rep.OK() {
+			var b strings.Builder
+			rep.Describe(&b)
+			t.Errorf("crash seed %d failed:\n%s", seed, b.String())
+		}
+		if rep.UnfailoveredErr != nil {
+			unprotected++
+		}
+	}
+	// The sweep must prove the outages were real: at least one seed's
+	// failover-stripped twin has to die on an unrecovered error.
+	if unprotected == 0 {
+		t.Errorf("no seed of %d failed without failover — crash scenarios too tame", n)
+	}
+}
+
+// TestGenerateCrashDeterministic: crash generation must be a pure
+// function of the seed and must always arm the crash profile on a
+// statically-assigned workload with failover protection.
+func TestGenerateCrashDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		a, b := GenerateCrash(seed), GenerateCrash(seed)
+		if a.Label() != b.Label() {
+			t.Fatalf("seed %d: GenerateCrash not deterministic:\n%s\n%s", seed, a.Label(), b.Label())
+		}
+		if !a.Crashy || a.Faulty || a.Recoverable {
+			t.Fatalf("seed %d: crash scenario flags Crashy=%v Faulty=%v Recoverable=%v",
+				seed, a.Crashy, a.Faulty, a.Recoverable)
+		}
+		if !a.Cfg.Crash.Enabled() {
+			t.Fatalf("seed %d: crash scenario without a crash plan", seed)
+		}
+		if a.Cfg.PFS.Retry.DownPoll <= 0 || a.Cfg.PFS.Retry.Timeout <= 0 {
+			t.Fatalf("seed %d: crash scenario without restart-aware failover: %+v", seed, a.Cfg.PFS.Retry)
+		}
+		if !a.Spec.ContinueOnUnavailable {
+			t.Fatalf("seed %d: crash workload aborts on unavailable reads", seed)
+		}
+		if !staticAssignment(a.Spec) {
+			t.Fatalf("seed %d: crash workload %v is not statically assigned", seed, a.Spec.Mode)
+		}
+		if a.Cfg.IONodes < 2 || a.Cfg.ArrayMembers < 2 {
+			t.Fatalf("seed %d: crash machine too small: %dio × %d members",
+				seed, a.Cfg.IONodes, a.Cfg.ArrayMembers)
+		}
+		if a.Cfg.DiskFaultRate != 0 {
+			t.Fatalf("seed %d: crash scenario mixes in disk faults", seed)
+		}
+	}
+}
+
+// TestCrashSweepExercisesEveryPath: across a modest seed range the
+// generator must hit each mechanism the crash domain exists for — reads
+// parked on a restart, reads declared unavailable past the deadline,
+// parity-reconstructed degraded reads, online rebuild I/O, and
+// prefetches retired by a crash. A sweep that never produces one of
+// these proves nothing about it.
+func TestCrashSweepExercisesEveryPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full seed range")
+	}
+	var downWaits, unavailable, degraded, rebuildIOs, retired int64
+	for seed := int64(1); seed <= 25; seed++ {
+		sc := GenerateCrash(seed)
+		r := execute(sc.Cfg, sc.Spec)
+		if r.err != nil {
+			t.Fatalf("seed %d: %v", seed, r.err)
+		}
+		fc := r.res.Fault
+		downWaits += fc.DownWaits
+		unavailable += r.res.UnavailableReads
+		degraded += fc.ArrayDegraded
+		rebuildIOs += fc.RebuildIOs
+		retired += fc.Retired
+	}
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{
+		{"down-waited pieces", downWaits},
+		{"unavailable reads", unavailable},
+		{"degraded reads", degraded},
+		{"rebuild I/Os", rebuildIOs},
+		{"retired prefetches", retired},
+	} {
+		if c.n == 0 {
+			t.Errorf("25-seed crash sweep produced no %s", c.name)
+		}
+	}
+}

@@ -126,6 +126,177 @@ func checkRecovered(seed int64, r run) []Failure {
 	return fs
 }
 
+// checkCrash is the crash-chaos oracle set: over a run with scheduled
+// whole-node outages (and maybe a permanent member loss plus rebuild),
+// it proves that every byte a node requested was delivered correctly,
+// counted late, or counted unavailable — never silently lost — and that
+// the crash-domain bookkeeping is internally consistent.
+func checkCrash(seed int64, sc Scenario, r run) []Failure {
+	var fs []Failure
+	fail := func(format string, args ...any) {
+		fs = append(fs, Failure{Seed: seed, Oracle: "crash", Detail: fmt.Sprintf(format, args...)})
+	}
+	res := r.res
+	fc := res.Fault
+
+	// The failover layer never burns a retry budget: the per-attempt
+	// deadline is far above every healthy service time, down nodes are
+	// recognized and waited out or declared unavailable, and there are no
+	// injected disk faults to retry.
+	if fc.GiveUps != 0 {
+		fail("%d piece(s) exhausted the retry budget despite restart-aware failover", fc.GiveUps)
+	}
+
+	// Per node: the reference model says which ranges the node was owed.
+	// The delivered list must be that sequence minus exactly the reads
+	// counted unavailable — an order-preserving subsequence, every range
+	// verbatim (content is position-defined, so matching (off,n) pairs is
+	// byte-for-byte correctness).
+	req := sc.Spec.RequestSize
+	for i, got := range res.Deliveries {
+		want := expectedDeliveries(sc.Spec, sc.Cfg.ComputeNodes, i)
+		var wantBytes, gotBytes int64
+		for _, d := range want {
+			wantBytes += d.N
+		}
+		for _, d := range got {
+			gotBytes += d.N
+		}
+		if wantBytes != gotBytes+res.NodeUnavailableBytes[i] {
+			fail("node %d: owed %d bytes, delivered %d + unavailable %d",
+				i, wantBytes, gotBytes, res.NodeUnavailableBytes[i])
+			continue
+		}
+		skipped := int64(0)
+		w := 0
+		ok := true
+		for _, d := range got {
+			for w < len(want) && want[w] != d {
+				skipped++
+				w++
+			}
+			if w == len(want) {
+				fail("node %d: delivered [%d,+%d) is not in the owed sequence (order or range mismatch)",
+					i, d.Off, d.N)
+				ok = false
+				break
+			}
+			w++
+		}
+		if !ok {
+			continue
+		}
+		skipped += int64(len(want) - w)
+		if skipped*req != res.NodeUnavailableBytes[i] {
+			fail("node %d: %d owed read(s) undelivered, but %d counted unavailable",
+				i, skipped, res.NodeUnavailableBytes[i]/req)
+		}
+	}
+
+	// Unavailable tallies cross-foot: per-node sums match the totals, and
+	// every unavailable read traces back to at least one piece the
+	// failover layer declared unavailable.
+	var nodeUnavail int64
+	for _, b := range res.NodeUnavailableBytes {
+		nodeUnavail += b
+	}
+	if nodeUnavail != res.UnavailableBytes || res.UnavailableBytes != res.UnavailableReads*req {
+		fail("unavailable accounting: node sum %d, total %d, %d reads × %d",
+			nodeUnavail, res.UnavailableBytes, res.UnavailableReads, req)
+	}
+	if res.UnavailableReads > 0 && fc.Unavailable == 0 {
+		fail("%d read(s) unavailable but no piece was declared unavailable", res.UnavailableReads)
+	}
+
+	// Delivered ranges account for every byte the applications read.
+	var delivered int64
+	for _, ranges := range res.Deliveries {
+		for _, d := range ranges {
+			delivered += d.N
+		}
+	}
+	if delivered != res.TotalBytes {
+		fail("delivery records cover %d bytes, applications read %d", delivered, res.TotalBytes)
+	}
+
+	// Bytes leaving the I/O nodes are conserved: consumed over the fast
+	// path, discarded as a late reply, or served inside a read that
+	// overall failed (abandoned) — nothing minted, nothing lost.
+	var served int64
+	for _, s := range res.Machine.Servers {
+		served += s.BytesServed
+	}
+	if served != res.IOBytes+fc.LateBytes+fc.AbandonedBytes {
+		fail("I/O nodes served %d bytes, fast path accounted %d (+%d late, +%d abandoned)",
+			served, res.IOBytes, fc.LateBytes, fc.AbandonedBytes)
+	}
+
+	// The prefetcher classifies every read routed through it — including
+	// the ones that came back unavailable — exactly once, and delivered
+	// bytes split cleanly between buffer copies and direct reads.
+	if p := res.Prefetch; p != nil {
+		servedReads := p.Hits + p.HitsInWait + p.Misses + p.Fallbacks
+		if want := res.ReadCalls + res.UnavailableReads; servedReads != want {
+			fail("prefetch counters sum to %d (%d hit + %d wait + %d miss + %d fallback), want %d reads (%d ok + %d unavailable)",
+				servedReads, p.Hits, p.HitsInWait, p.Misses, p.Fallbacks, want, res.ReadCalls, res.UnavailableReads)
+		}
+		if p.BytesCopied+p.BytesDirect != res.TotalBytes {
+			fail("prefetcher delivered %d buffer + %d direct bytes, applications read %d",
+				p.BytesCopied, p.BytesDirect, res.TotalBytes)
+		}
+	}
+
+	// Lifecycle bookkeeping: the kernel drains every scheduled event, so
+	// each crash has fired and each crashed node has restarted by the time
+	// the run returns; the trace saw the same transitions the counters did.
+	if !sc.Cfg.Crash.Enabled() {
+		fail("crash scenario generated without a crash plan")
+	} else if fc.NodeCrashes == 0 {
+		fail("crash plan armed but no node crashed")
+	}
+	if fc.NodeRestarts != fc.NodeCrashes {
+		fail("%d crash(es) but %d restart(s)", fc.NodeCrashes, fc.NodeRestarts)
+	}
+	if r.tl.Dropped() == 0 {
+		for _, c := range []struct {
+			kind trace.Kind
+			n    int64
+		}{
+			{trace.NodeCrash, fc.NodeCrashes},
+			{trace.NodeRestart, fc.NodeRestarts},
+			{trace.DegradedRead, fc.ArrayDegraded},
+			{trace.RebuildIO, fc.RebuildIOs},
+			{trace.RetryIssue, fc.Retries},
+			{trace.TimeoutFired, fc.Timeouts},
+		} {
+			if got := int64(r.tl.Count(c.kind)); got != c.n {
+				fail("trace recorded %d %v events, counters say %d", got, c.kind, c.n)
+			}
+		}
+	}
+
+	// Member loss and rebuild: the failure fired, and an armed rebuild
+	// finished before the kernel drained — the array ends healthy.
+	if mf := sc.Cfg.MemberFail; mf.Enabled() {
+		if fc.MemberFails != 1 {
+			fail("member-fail plan armed but %d member(s) failed", fc.MemberFails)
+		}
+		a := res.Machine.Arrays[mf.Array]
+		if sc.Cfg.Rebuild.Chunk > 0 {
+			if a.RebuildDoneAt == 0 || a.Degraded() || a.Rebuilding() {
+				fail("rebuild did not complete: doneAt=%v degraded=%v rebuilding=%v",
+					a.RebuildDoneAt, a.Degraded(), a.Rebuilding())
+			}
+			if got := int64(r.tl.Count(trace.RebuildDone)); r.tl.Dropped() == 0 && got != 1 {
+				fail("trace recorded %d rebuild-done events, want 1", got)
+			}
+		} else if !a.Degraded() {
+			fail("no rebuild armed but the array is not degraded at run end")
+		}
+	}
+	return fs
+}
+
 // checkMonotone asserts that adding compute delay never makes the run
 // finish earlier. base succeeded with sc.Spec; slower is the same
 // scenario with a strictly larger ComputeDelay.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/disk"
 	"repro/internal/ionode"
 	"repro/internal/machine"
 	"repro/internal/pfs"
@@ -53,6 +54,15 @@ type Scenario struct {
 	// construction — so the full oracle set applies, except monotonicity
 	// (shifting arrival times shifts which requests draw faults).
 	Recoverable bool
+
+	// Crashy marks crash-chaos scenarios: whole-I/O-node crash–restart
+	// outages (and sometimes a permanent RAID member loss with an online
+	// rebuild) under the restart-aware failover policy, with the workload
+	// tolerating reads the failover deterministically declares
+	// unavailable. The crash oracle set proves every requested byte was
+	// delivered correctly, counted late, or counted unavailable — never
+	// silently lost (see checkCrashScenario).
+	Crashy bool
 }
 
 // Generate expands a seed into a scenario. The same seed always yields
@@ -177,6 +187,143 @@ func GenerateChaos(seed int64) Scenario {
 	return sc
 }
 
+// armCrash turns sc into a crash-chaos scenario: scheduled whole-node
+// outages against the restart-aware failover policy, on a workload whose
+// per-node read sequence is a pure function of the spec — so the crash
+// oracles can say analytically which bytes each node was owed and check
+// that every one was delivered or deliberately counted unavailable.
+// About half the seeds additionally lose a RAID member for good, half of
+// those with an online rebuild racing the foreground reads.
+func armCrash(sc *Scenario, rng *rand.Rand) {
+	cfg := &sc.Cfg
+	spec := &sc.Spec
+
+	// Crashes need someone left to serve, and member losses need parity
+	// survivors to reconstruct from.
+	if cfg.IONodes < 2 {
+		cfg.IONodes = 2
+	}
+	if cfg.ArrayMembers < 2 {
+		cfg.ArrayMembers = 2
+	}
+	// Crash purity: the organic draw may have armed disk faults or
+	// shedding; both entangle the byte accounting with racing timers, and
+	// the crash oracles want every lost byte attributable to an outage.
+	cfg.DiskFaultRate = 0
+	cfg.DiskFaultTransientFrac = 0
+	cfg.DiskFaultJitter = 0
+	cfg.Shed = ionode.ShedPolicy{}
+
+	// Restart-aware failover. The per-attempt deadline is far above every
+	// healthy service time in the model (a cold 64K read is ~25 ms), so a
+	// timeout can only mean the request vanished into a dead node.
+	cfg.PFS.Retry = pfs.RetryPolicy{
+		MaxRetries:   8,
+		Timeout:      2 * sim.Second,
+		Backoff:      2 * sim.Millisecond,
+		BackoffMax:   100 * sim.Millisecond,
+		Seed:         1,
+		DownPoll:     50 * sim.Millisecond,
+		DownDeadline: 2500 * sim.Millisecond,
+	}
+
+	// Statically-assigned access only: skipping an unavailable read must
+	// not desequence anyone else, and the reference model must be able to
+	// name each node's owed ranges. (M_UNIX/M_LOG/M_SYNC/M_GLOBAL share
+	// pointers or broadcasts across nodes, so one node's loss changes
+	// what the others read.)
+	spec.SeparateFiles = false
+	spec.Stride = 0
+	switch rng.Intn(4) {
+	case 0:
+		spec.Mode = pfs.MRecord
+		spec.Pattern = workload.Interleaved
+	case 1:
+		spec.Mode = pfs.MAsync
+		spec.Pattern = pick(rng, workload.Interleaved, workload.Partitioned)
+	case 2:
+		spec.Mode = pfs.MAsync
+		spec.Pattern = workload.Strided
+		spec.Stride = 2 + rng.Intn(3)
+	default:
+		spec.Mode = pfs.MAsync
+		spec.SeparateFiles = true
+		spec.Pattern = workload.Interleaved
+	}
+	spec.ContinueOnUnavailable = true
+
+	// Long enough that the outages land mid-workload, and request-aligned
+	// so an unavailable read's loss is exactly one request.
+	rounds := int64(6 + rng.Intn(9))
+	spec.RequestSize = pick64(rng, 16<<10, 32<<10, 64<<10)
+	spec.FileSize = int64(cfg.ComputeNodes) * spec.RequestSize * rounds
+	spec.ComputeDelay = pick(rng, 0, sim.Time(5*sim.Millisecond), sim.Time(20*sim.Millisecond), sim.Time(50*sim.Millisecond))
+
+	// Compute-node prefetching on most seeds: prefetches racing into a
+	// crash must retire cleanly and fall back, which is half the point.
+	// The server-side placement stages through the I/O-node caches a
+	// crash wipes, so its delivered-bytes bookkeeping is not crash-exact;
+	// keep crash scenarios on the fast path.
+	spec.ServerSide = nil
+	spec.Buffered = false
+	spec.Prefetch = nil
+	if rng.Intn(3) > 0 {
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Depth = 1 + rng.Intn(3)
+		pcfg.MaxBuffers = 2 + rng.Intn(7)
+		pcfg.FreeCopy = rng.Intn(5) == 0
+		spec.Prefetch = &pcfg
+	}
+
+	// The outage schedule. Downtimes straddle the failover deadline:
+	// short ones are waited out (delivered late), long ones are declared
+	// unavailable without waiting.
+	cfg.Crash = machine.CrashPlan{
+		Count:    1 + rng.Intn(3),
+		Seed:     sc.Seed*31 + 7,
+		Start:    50 * sim.Millisecond,
+		Window:   500 * sim.Millisecond,
+		Downtime: pick(rng, 300*sim.Millisecond, 800*sim.Millisecond, 3*sim.Second),
+	}
+
+	// Half the seeds also lose a RAID member inside the stripe group
+	// (outside it the array never sees a request and nothing is proved);
+	// half of those rebuild onto the hot spare while the reads run.
+	cfg.MemberFail = machine.MemberFailPlan{}
+	cfg.Rebuild = disk.RebuildPolicy{}
+	if rng.Intn(2) == 0 {
+		group := spec.StripeGroup
+		if group == 0 {
+			group = cfg.IONodes
+		}
+		cfg.MemberFail = machine.MemberFailPlan{
+			At:     100 * sim.Millisecond,
+			Array:  rng.Intn(group),
+			Member: rng.Intn(cfg.ArrayMembers),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Rebuild = disk.RebuildPolicy{
+				Chunk: pick64(rng, 64<<10, 128<<10, 256<<10),
+				Gap:   pick(rng, 0, sim.Time(2*sim.Millisecond), sim.Time(10*sim.Millisecond)),
+			}
+		}
+	}
+
+	sc.Faulty = false
+	sc.Recoverable = false
+	sc.Crashy = true
+}
+
+// GenerateCrash expands a seed like Generate and then force-arms the
+// crash profile. Crash sweeps (`cmd/simcheck -crash`) use this so every
+// seed exercises the crash–restart fault domain.
+func GenerateCrash(seed int64) Scenario {
+	sc := Generate(seed)
+	crng := rand.New(rand.NewSource(seed*6364136223846793005 + 1181783497276652981))
+	armCrash(&sc, crng)
+	return sc
+}
+
 // Label renders the scenario compactly for reports.
 func (sc Scenario) Label() string {
 	l := fmt.Sprintf("%dc/%dio %v %s req=%dK file=%dK delay=%v",
@@ -208,6 +355,16 @@ func (sc Scenario) Label() string {
 		}
 		if sc.Cfg.PFS.Retry.Timeout > 0 {
 			l += " deadline"
+		}
+	}
+	if sc.Crashy {
+		l += fmt.Sprintf(" crash(n=%d,down=%v)", sc.Cfg.Crash.Count, sc.Cfg.Crash.Downtime)
+		if sc.Cfg.MemberFail.Enabled() {
+			l += fmt.Sprintf(" memberfail(a%d/m%d", sc.Cfg.MemberFail.Array, sc.Cfg.MemberFail.Member)
+			if sc.Cfg.Rebuild.Chunk > 0 {
+				l += fmt.Sprintf(",rebuild=%dK/%v", sc.Cfg.Rebuild.Chunk>>10, sc.Cfg.Rebuild.Gap)
+			}
+			l += ")"
 		}
 	}
 	return l

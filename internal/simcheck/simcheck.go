@@ -159,6 +159,78 @@ func CheckChaosRange(start int64, n, workers int, stopFirst bool, onReport func(
 	return failed, unprotected
 }
 
+// CrashReport extends a crash seed's Report with the failover-off
+// twin's outcome: the same outage schedule run without node-down
+// awareness, without the unavailable-read policy, and without parity.
+type CrashReport struct {
+	Report
+	// UnfailoveredErr is the error of the failover-disabled twin run. nil
+	// means the twin got lucky (no outage hit a user-facing request hard
+	// enough); a crash sweep asserts that at least one seed's twin
+	// failed, proving the scenarios genuinely need the protection.
+	UnfailoveredErr error
+}
+
+// CheckCrash force-arms the crash profile on the seed's scenario, runs
+// determinism, sanity, and the crash oracle set, and then replays the
+// identical outage schedule with the failover stripped — no down-node
+// awareness, no unavailable policy, no parity — to observe whether the
+// crashes would have been fatal without the protection.
+func CheckCrash(seed int64) CrashReport {
+	sc := GenerateCrash(seed)
+	rep := Report{Seed: seed, Scenario: sc}
+
+	base := execute(sc.Cfg, sc.Spec)
+	again := execute(sc.Cfg, sc.Spec)
+	rep.Failures = append(rep.Failures, checkDeterminism(seed, base, again)...)
+
+	if base.err != nil {
+		rep.RunErr = base.err
+		rep.Failures = append(rep.Failures, Failure{Seed: seed, Oracle: "crash",
+			Detail: fmt.Sprintf("crash run with failover armed must survive, run failed: %v", base.err)})
+	} else {
+		rep.Elapsed = base.res.Elapsed
+		rep.Bandwidth = base.res.Bandwidth
+		rep.ReadCalls = base.res.ReadCalls
+		rep.Fingerprint = base.res.Fingerprint()
+		rep.TraceDigest = base.tl.Digest()
+		rep.Failures = append(rep.Failures, checkSanity(seed, sc, base)...)
+		rep.Failures = append(rep.Failures, checkCrash(seed, sc, base)...)
+	}
+
+	twin := sc
+	twin.Cfg.NoParity = true
+	twin.Cfg.PFS.Retry.DownPoll = 0
+	twin.Cfg.PFS.Retry.DownDeadline = 0
+	twin.Spec.ContinueOnUnavailable = false
+	return CrashReport{Report: rep, UnfailoveredErr: execute(twin.Cfg, twin.Spec).err}
+}
+
+// CheckCrashRange is CheckRange over CheckCrash: seeds [start, start+n)
+// on a worker pool, reports delivered to onReport in seed order at every
+// pool width. It returns the failing reports and how many seeds' twin
+// runs failed without failover protection.
+func CheckCrashRange(start int64, n, workers int, stopFirst bool, onReport func(CrashReport)) (failed []CrashReport, unprotected int) {
+	sweep.Stream(workers, n, func(i int) CrashReport {
+		return CheckCrash(start + int64(i))
+	}, func(_ int, rep CrashReport) bool {
+		if onReport != nil {
+			onReport(rep)
+		}
+		if rep.UnfailoveredErr != nil {
+			unprotected++
+		}
+		if !rep.OK() {
+			failed = append(failed, rep)
+			if stopFirst {
+				return false
+			}
+		}
+		return true
+	})
+	return failed, unprotected
+}
+
 // CheckRange checks seeds [start, start+n) across a pool of workers
 // (workers <= 1 checks serially on the calling goroutine; workers <= 0
 // means one worker per CPU). Reports are delivered to onReport in seed
@@ -215,5 +287,19 @@ func (r ChaosReport) Describe(w io.Writer) {
 	}
 	if len(r.Failures) > 0 {
 		fmt.Fprintf(w, "  replay: go run ./cmd/simcheck -chaos -seed %d -v\n", r.Seed)
+	}
+}
+
+// Describe writes the crash report: the protected run's account plus the
+// failover-off twin's fate.
+func (r CrashReport) Describe(w io.Writer) {
+	r.Report.Describe(w)
+	if r.UnfailoveredErr != nil {
+		fmt.Fprintf(w, "  without failover: %v\n", r.UnfailoveredErr)
+	} else {
+		fmt.Fprintf(w, "  without failover: survived (no outage hit a user-facing request hard enough)\n")
+	}
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(w, "  replay: go run ./cmd/simcheck -crash -seed %d -v\n", r.Seed)
 	}
 }

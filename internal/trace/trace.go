@@ -28,6 +28,11 @@ const (
 	RetryIssue                // a failed/timed-out piece re-sent to its I/O node
 	RetryGiveUp               // retry budget exhausted; the error surfaces
 	TimeoutFired              // a piece's reply deadline passed with no reply
+	NodeCrash                 // an I/O node crashed; in-flight work vanishes
+	NodeRestart               // a crashed I/O node came back up, cache cold
+	DegradedRead              // array read reconstructed from parity (member dead)
+	RebuildIO                 // one background rebuild copy onto the hot spare
+	RebuildDone               // hot spare promoted; the array is healthy again
 )
 
 // String names the kind.
@@ -55,6 +60,16 @@ func (k Kind) String() string {
 		return "retry-giveup"
 	case TimeoutFired:
 		return "timeout-fired"
+	case NodeCrash:
+		return "node-crash"
+	case NodeRestart:
+		return "node-restart"
+	case DegradedRead:
+		return "degraded-read"
+	case RebuildIO:
+		return "rebuild-io"
+	case RebuildDone:
+		return "rebuild-done"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

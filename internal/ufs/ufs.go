@@ -19,12 +19,18 @@
 package ufs
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/disk"
 	"repro/internal/sim"
 )
+
+// ErrCrashed is the error in-flight cache fills fail with when the I/O
+// node goes down mid-read.
+var ErrCrashed = errors.New("ufs: I/O node crashed during fill")
 
 // Config describes one I/O node's file system.
 type Config struct {
@@ -108,6 +114,10 @@ func New(k *sim.Kernel, array *disk.Array, cfg Config) *FS {
 // BlockSize reports the file system block size.
 func (fs *FS) BlockSize() int64 { return fs.cfg.BlockSize }
 
+// Array exposes the disk array beneath the file system (for stats
+// reporting and fault injection in tests).
+func (fs *FS) Array() *disk.Array { return fs.array }
+
 // Create allocates a file of size bytes. Allocation walks a cursor across
 // the volume, breaking contiguity with probability Fragmentation per
 // block, which reproduces the aging of a real UFS. Creating over an
@@ -167,6 +177,28 @@ func (fs *FS) Remove(name string) error {
 	return nil
 }
 
+// CrashReset models the node's operating system going down: the buffer
+// cache vanishes and every read waiting on an in-flight cache fill fails
+// with ErrCrashed. Disk contents survive — only volatile state is lost;
+// the file table and allocator are on-disk metadata and persist. Fills
+// are failed in sorted key order so the crash is deterministic.
+func (fs *FS) CrashReset() {
+	if fs.cache != nil {
+		fs.cache = newLRU(fs.cfg.CacheBlocks)
+	}
+	keys := make([]string, 0, len(fs.fills))
+	for key := range fs.fills {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fill := fs.fills[key]
+		delete(fs.fills, key)
+		fill.Fire(ErrCrashed)
+	}
+	fs.cpuFree = fs.k.Now()
+}
+
 // Size reports a file's length, or an error if it does not exist.
 func (fs *FS) Size(name string) (int64, error) {
 	v, ok := fs.files[name]
@@ -219,10 +251,11 @@ func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, err
 	// waited on rather than read twice; the rest miss and are read from
 	// the array, coalesced into contiguous runs. Blocks become resident
 	// only when their fill completes — never at issue time.
-	var missBlocks []int64    // disk block numbers to fetch
-	var missFiles []int64     // the file blocks those correspond to
-	var pending []*sim.Signal // fills in flight we must wait for
-	copyBytes := int64(0)     // bytes staged through the cache
+	var missBlocks []int64     // disk block numbers to fetch
+	var missFiles []int64      // the file blocks those correspond to
+	var missSigs []*sim.Signal // the fill signal we created for each, identity-checked at completion
+	var pending []*sim.Signal  // fills in flight we must wait for
+	copyBytes := int64(0)      // bytes staged through the cache
 	for b := first; b <= last; b++ {
 		dblk := v.blocks[b]
 		if !opt.FastPath && fs.cache != nil {
@@ -239,9 +272,11 @@ func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, err
 				continue
 			}
 			fs.CacheMisses++
-			fs.fills[key] = sim.NewSignal(fs.k)
+			sig := sim.NewSignal(fs.k)
+			fs.fills[key] = sig
 			copyBytes += bs
 			missFiles = append(missFiles, b)
+			missSigs = append(missSigs, sig)
 		}
 		missBlocks = append(missBlocks, dblk)
 	}
@@ -288,16 +323,22 @@ func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, err
 	fileIdx := 0
 	for _, r := range runs {
 		var filled []int64
+		var filledSigs []*sim.Signal
 		if len(missFiles) > 0 {
 			filled = missFiles[fileIdx : fileIdx+int(r.count)]
+			filledSigs = missSigs[fileIdx : fileIdx+int(r.count)]
 			fileIdx += int(r.count)
 		}
 		sig := fs.array.Read(r.start*bs, r.count*bs)
 		sig.OnFire(func(err error) {
 			// The blocks are resident (or abandoned, on error) only now.
-			for _, b := range filled {
+			// The fill must still be the one this read created: a crash
+			// (CrashReset) fails and removes fills, and a read issued
+			// after the restart may have registered a fresh fill under
+			// the same key — a stale disk completion must not touch it.
+			for i, b := range filled {
 				key := cacheKey(name, b)
-				if fill, ok := fs.fills[key]; ok {
+				if fill, ok := fs.fills[key]; ok && fill == filledSigs[i] {
 					if err == nil {
 						fs.cache.put(key)
 					}

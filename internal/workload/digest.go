@@ -44,6 +44,11 @@ func (r *Result) Fingerprint() uint64 {
 	for _, d := range r.DeliveryDigests {
 		put(d)
 	}
+	put(uint64(r.UnavailableReads))
+	put(uint64(r.UnavailableBytes))
+	for _, b := range r.NodeUnavailableBytes {
+		put(uint64(b))
+	}
 	put(r.ReadTime.Fingerprint())
 	if r.Machine != nil {
 		put(uint64(r.Machine.FS.StripeRequests))
@@ -54,11 +59,23 @@ func (r *Result) Fingerprint() uint64 {
 			put(uint64(s.Requests))
 			put(uint64(s.Faults))
 			put(uint64(s.Shed))
+			put(uint64(s.Crashes))
+			put(uint64(s.Restarts))
+			put(uint64(s.Dropped))
 		}
 		fs := r.Machine.FS
 		for _, v := range []int64{fs.Retries, fs.Timeouts, fs.GiveUps,
-			fs.DegradedReads, fs.LateReplies, fs.LateBytes} {
+			fs.DegradedReads, fs.LateReplies, fs.LateBytes,
+			fs.DownWaits, fs.Unavailable, fs.AbandonedBytes} {
 			put(uint64(v))
+		}
+		put(uint64(r.Machine.Mesh.Dropped))
+		for _, a := range r.Machine.Arrays {
+			put(uint64(a.MemberFails))
+			put(uint64(a.DegradedReads))
+			put(uint64(a.RebuildIOs))
+			put(uint64(a.RebuildBytes))
+			put(uint64(a.RebuildDoneAt))
 		}
 		put(r.Machine.K.Fingerprint())
 	}

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -83,6 +84,15 @@ type Spec struct {
 	// Trace, when non-nil, receives the run's file system and prefetch
 	// timeline.
 	Trace *trace.Log
+
+	// ContinueOnUnavailable keeps a node's read loop going when a read
+	// fails with pfs.ErrUnavailable (its I/O node is dead past the
+	// failover deadline): the read is counted as unavailable — requested
+	// but never delivered — and the loop moves to the node's next offset.
+	// Only meaningful for statically-partitioned access (M_RECORD,
+	// M_ASYNC, separate files), where skipping a read cannot desequence
+	// a shared pointer. Off, any read error aborts the run as before.
+	ContinueOnUnavailable bool
 }
 
 // Result is what a run measured.
@@ -103,6 +113,13 @@ type Result struct {
 	DeliveryDigests []uint64         // per-node digest of delivered ranges, node order
 	Deliveries      [][]pfs.Delivery // per-node delivered ranges (only with Spec.RecordDeliveries)
 
+	// Unavailable accounting (Spec.ContinueOnUnavailable under crashes):
+	// reads the application requested that failed ErrUnavailable, with
+	// their byte counts, total and per node.
+	UnavailableReads     int64
+	UnavailableBytes     int64
+	NodeUnavailableBytes []int64
+
 	// Fault summarizes the run's fault-tolerance activity (all zero on a
 	// healthy machine with the retry layer disabled).
 	Fault FaultCounters
@@ -122,6 +139,19 @@ type FaultCounters struct {
 	DiskPermanent int64 // permanent faults injected at the disk layer
 	ServerFaults  int64 // requests that failed at the disk layer, server view
 	Retired       int64 // failed prefetches whose buffer slots were reclaimed
+
+	// Crash-domain counters (all zero without a crash/member-fail plan).
+	NodeCrashes    int64 // whole-I/O-node crashes
+	NodeRestarts   int64 // nodes that came back up
+	NodeDropped    int64 // requests that vanished into down/crashing nodes
+	MeshDropped    int64 // messages addressed to a down node, dropped in flight
+	DownWaits      int64 // pieces parked on a crashed node's restart
+	Unavailable    int64 // pieces failed ErrUnavailable (node dead past deadline)
+	AbandonedBytes int64 // piece bytes served inside reads that overall failed
+	MemberFails    int64 // RAID members lost for good
+	ArrayDegraded  int64 // array requests served by parity reconstruction
+	RebuildIOs     int64 // background rebuild passes onto hot spares
+	RebuildBytes   int64 // bytes rebuilt onto hot spares
 }
 
 // collectFaults fills res.Fault from the machine and prefetcher state.
@@ -146,6 +176,21 @@ func collectFaults(res *Result, m *machine.Machine) {
 	if res.Prefetch != nil {
 		res.Fault.Retired = res.Prefetch.Retired
 	}
+	res.Fault.DownWaits = fs.DownWaits
+	res.Fault.Unavailable = fs.Unavailable
+	res.Fault.AbandonedBytes = fs.AbandonedBytes
+	for _, s := range m.Servers {
+		res.Fault.NodeCrashes += s.Crashes
+		res.Fault.NodeRestarts += s.Restarts
+		res.Fault.NodeDropped += s.Dropped
+	}
+	res.Fault.MeshDropped = m.Mesh.Dropped
+	for _, a := range m.Arrays {
+		res.Fault.MemberFails += a.MemberFails
+		res.Fault.ArrayDegraded += a.DegradedReads
+		res.Fault.RebuildIOs += a.RebuildIOs
+		res.Fault.RebuildBytes += a.RebuildBytes
+	}
 }
 
 // Run builds a machine from cfg, lays out the file(s), and drives one
@@ -169,6 +214,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 
 	if spec.Trace != nil {
 		m.FS.SetTrace(spec.Trace)
+		m.SetTrace(spec.Trace)
 	}
 	var pf *prefetch.Prefetcher
 	var ss *prefetch.ServerSide
@@ -209,6 +255,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 
 	files := make([]*pfs.File, nodes) // indexed by node rank
 	errs := make([]error, nodes)
+	unav := make([]unavailTally, nodes)
 	for i := 0; i < nodes; i++ {
 		i := i
 		m.K.Go(fmt.Sprintf("app%d", i), func(p *sim.Proc) {
@@ -232,7 +279,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 			if ss != nil {
 				ss.Attach(f)
 			}
-			errs[i] = drive(p, f, spec, i, nodes)
+			errs[i] = drive(p, f, spec, i, nodes, &unav[i])
 			res.NodeTimes[i] = p.Now()
 			files[i] = f
 			if err := f.Close(); err != nil && errs[i] == nil {
@@ -249,6 +296,12 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 		}
 	}
 	res.DeliveryDigests = make([]uint64, nodes)
+	res.NodeUnavailableBytes = make([]int64, nodes)
+	for i, u := range unav {
+		res.UnavailableReads += u.reads
+		res.UnavailableBytes += u.bytes
+		res.NodeUnavailableBytes[i] = u.bytes
+	}
 	if spec.RecordDeliveries {
 		res.Deliveries = make([][]pfs.Delivery, nodes)
 	}
@@ -275,8 +328,28 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 	return res, nil
 }
 
+// unavailTally counts one node's reads lost to dead I/O nodes.
+type unavailTally struct {
+	reads int64
+	bytes int64
+}
+
+// tolerate classifies a failed read under the spec's unavailable policy.
+// It returns true — after counting the read as requested-but-undelivered
+// at the spec's request size — when the loop should move to the next
+// offset. (Crash scenarios use file sizes that divide evenly into
+// requests, so the request size is the exact loss.)
+func tolerate(spec Spec, err error, u *unavailTally) bool {
+	if !spec.ContinueOnUnavailable || !errors.Is(err, pfs.ErrUnavailable) {
+		return false
+	}
+	u.reads++
+	u.bytes += spec.RequestSize
+	return true
+}
+
 // drive runs one node's read loop per the spec's pattern.
-func drive(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
+func drive(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int, u *unavailTally) error {
 	req := spec.RequestSize
 	delayThen := func(first *bool) {
 		if *first {
@@ -295,30 +368,32 @@ func drive(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
 			delayThen(&first)
 			if _, err := f.Read(p, req); err == io.EOF {
 				return nil
-			} else if err != nil {
+			} else if err != nil && !tolerate(spec, err, u) {
 				return err
 			}
 		}
 
 	case spec.Mode.Collective() || spec.Mode == pfs.MUnix || spec.Mode == pfs.MLog:
-		// Shared-pointer and collective modes: just keep reading.
+		// Shared-pointer and collective modes: just keep reading. A
+		// tolerated unavailable read consumed its round/claim, so the
+		// loop continuing stays in step with the other parties.
 		first := true
 		for {
 			delayThen(&first)
 			if _, err := f.Read(p, req); err == io.EOF {
 				return nil
-			} else if err != nil {
+			} else if err != nil && !tolerate(spec, err, u) {
 				return err
 			}
 		}
 
 	default: // M_ASYNC: the application manages its own pointer.
-		return driveAsync(p, f, spec, rank, parties)
+		return driveAsync(p, f, spec, rank, parties, u)
 	}
 }
 
 // driveAsync implements the per-pattern M_ASYNC loops.
-func driveAsync(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
+func driveAsync(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int, u *unavailTally) error {
 	req := spec.RequestSize
 	size := f.Size()
 	readAt := func(off int64, first *bool) error {
@@ -331,6 +406,9 @@ func driveAsync(p *sim.Proc, f *pfs.File, spec Spec, rank, parties int) error {
 		}
 		_, err := f.Read(p, req)
 		if err == io.EOF {
+			return nil
+		}
+		if err != nil && tolerate(spec, err, u) {
 			return nil
 		}
 		return err
