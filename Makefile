@@ -16,20 +16,23 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench regenerates BENCH_sweep.json: the parallel-sweep speedup and the
-# DES hot-path micro-benchmarks, measured on THIS machine. Run it on the
-# hardware you are quoting numbers for — the JSON records num_cpu, and a
-# 1-core box can only show ~1x sweep speedup. Commit the refreshed file
+# bench regenerates BENCH_sweep.json (parallel-sweep speedup + DES
+# hot-path micros) and BENCH_run.json (end-to-end golden-scenario
+# throughput), measured on THIS machine. Run it on the hardware you are
+# quoting numbers for — both JSONs record num_cpu/gomaxprocs, and a
+# 1-core box can only show ~1x sweep speedup. Commit the refreshed files
 # together with any change that moves the numbers.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+	$(GO) run ./cmd/runbench -o BENCH_run.json
 
 # bench-short is the CI smoke variant: one pass over a small grid plus
 # the package micro-benchmarks at -benchtime=1x, just to prove the
 # benchmarks still compile and run.
 bench-short:
 	$(GO) run ./cmd/benchsweep -short -o /dev/null
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/
+	$(GO) run ./cmd/runbench -short -o /dev/null
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/
 
 simcheck:
 	$(GO) run ./cmd/simcheck -seeds 100
@@ -85,8 +88,9 @@ ci: fmt vet lint build race
 	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -crash -seeds 25 -parallel 4
 	$(GO) run ./cmd/detgate -allocs
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/
 	$(GO) run ./cmd/benchsweep -short -o /dev/null
+	$(GO) run ./cmd/runbench -short -o /dev/null
 	@echo "ci: all gates passed"
 
 experiments:

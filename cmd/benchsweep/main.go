@@ -51,6 +51,7 @@ type report struct {
 	SerialSec   float64          `json:"sweep_serial_sec"`
 	ParallelSec float64          `json:"sweep_parallel_sec"`
 	Speedup     float64          `json:"sweep_speedup"`
+	Caveat      string           `json:"caveat,omitempty"`
 	Micro       map[string]micro `json:"micro"`
 }
 
@@ -208,6 +209,17 @@ func main() {
 	rep.ParallelSec = parallel.Seconds()
 	rep.Speedup = serial.Seconds() / parallel.Seconds()
 
+	// A sweep speedup near 1x on a 1-core box (or with GOMAXPROCS=1) is
+	// the expected ceiling, not a parallelism regression; stamp the JSON
+	// so readers comparing committed files across machines don't misread
+	// it. Compare speedups only against num_cpu/gomaxprocs in the same
+	// file.
+	if rep.NumCPU == 1 || rep.GOMAXPROCS == 1 || *workers == 1 {
+		rep.Caveat = fmt.Sprintf(
+			"sweep ran at width %d with num_cpu=%d gomaxprocs=%d; ~1x speedup is the hardware ceiling here, not a regression",
+			*workers, rep.NumCPU, rep.GOMAXPROCS)
+	}
+
 	rep.Micro["kernel_schedule"] = microBench(benchKernelSchedule)
 	rep.Micro["kernel_event_throughput"] = microBench(benchKernelThroughput)
 	rep.Micro["mesh_send"] = microBench(benchMeshSend)
@@ -215,6 +227,9 @@ func main() {
 	fmt.Printf("sweep: %d cells, serial %v, parallel(%d) %v, speedup %.2fx on %d CPU(s)\n",
 		*cells, serial.Round(time.Millisecond), *workers,
 		parallel.Round(time.Millisecond), rep.Speedup, rep.NumCPU)
+	if rep.Caveat != "" {
+		fmt.Println("note:", rep.Caveat)
+	}
 	for name, m := range rep.Micro {
 		fmt.Printf("%-24s %10.1f ns/op %6d B/op %4d allocs/op\n",
 			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)

@@ -1,19 +1,21 @@
 // Command detgate is the CI determinism and allocation gate.
 //
-// Determinism: it runs the quickstart scenario (plus a chaos variant
-// with transient faults, shedding, and the retry layer armed, and a
-// crash variant with whole-node outages, a RAID member loss, and the
-// online rebuild under restart-aware failover) twice each,
-// requires bit-identical result fingerprints and trace digests between
-// the runs, and then diffs the digests against a committed golden file —
-// so a change that silently moves the simulation's event history fails
-// CI until the golden file is deliberately regenerated:
+// Determinism: it runs the golden scenarios from internal/scenarios
+// (healthy quickstart; a chaos variant with transient faults, shedding,
+// and the retry layer armed; and a crash variant with whole-node
+// outages, a RAID member loss, and the online rebuild under
+// restart-aware failover) twice each, requires bit-identical result
+// fingerprints and trace digests between the runs, and then diffs the
+// digests against a committed golden file — so a change that silently
+// moves the simulation's event history fails CI until the golden file is
+// deliberately regenerated:
 //
 //	go run ./cmd/detgate -update
 //
 // Allocation: with -allocs it shells out to `go test -bench` and asserts
-// that the zero-allocation hot paths of the DES kernel and the mesh
-// (BenchmarkEventThroughput, BenchmarkSend) still report 0 allocs/op.
+// that the zero-allocation hot paths — the DES kernel and mesh micros
+// plus the pfs client steady-state read and ionode service paths — still
+// report 0 allocs/op.
 package main
 
 import (
@@ -23,110 +25,26 @@ import (
 	"os/exec"
 	"strings"
 
-	"repro/internal/disk"
-	"repro/internal/ionode"
-	"repro/internal/machine"
-	"repro/internal/pfs"
-	"repro/internal/prefetch"
-	"repro/internal/sim"
+	"repro/internal/scenarios"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// gateMachine is the quickstart platform: 4 compute and 4 I/O nodes,
-// fragmentation off (matching internal/workload's golden-trace test).
-func gateMachine() machine.Config {
-	cfg := machine.DefaultConfig()
-	cfg.ComputeNodes = 4
-	cfg.IONodes = 4
-	cfg.UFS.Fragmentation = 0
-	return cfg
-}
-
-// gateSpec is the quickstart workload: M_RECORD readers with prefetching
-// and 50 ms of computation between reads.
-func gateSpec(tl *trace.Log) workload.Spec {
-	pcfg := prefetch.DefaultConfig()
-	return workload.Spec{
-		File:         "quickstart",
-		FileSize:     1 << 20,
-		RequestSize:  64 << 10,
-		Mode:         pfs.MRecord,
-		ComputeDelay: 50 * sim.Millisecond,
-		Prefetch:     &pcfg,
-		Trace:        tl,
-	}
-}
-
-// chaosMachine arms the full fault-tolerance stack on the gate platform.
-func chaosMachine() machine.Config {
-	cfg := gateMachine()
-	cfg.DiskFaultRate = 0.03
-	cfg.DiskFaultTransientFrac = 1
-	cfg.DiskFaultJitter = 0.2
-	cfg.FaultSeed = 42
-	cfg.Shed = ionode.ShedPolicy{Threshold: 3, Cooldown: 20 * sim.Millisecond}
-	cfg.PFS.Retry = pfs.DefaultRetryPolicy()
-	return cfg
-}
-
-// crashMachine arms the crash–restart fault domain on the gate platform:
-// two whole-node outages the restart-aware failover rides out, plus a
-// permanent member loss with the online rebuild racing the reads. The
-// digest pins the crash-domain accounting (crash/restart/drop counters,
-// degraded reads, rebuild progress, unavailable bytes) along with the
-// event history.
-func crashMachine() machine.Config {
-	cfg := gateMachine()
-	cfg.PFS.Retry = pfs.RetryPolicy{
-		MaxRetries:   8,
-		Timeout:      2 * sim.Second,
-		Backoff:      2 * sim.Millisecond,
-		BackoffMax:   100 * sim.Millisecond,
-		Seed:         1,
-		DownPoll:     50 * sim.Millisecond,
-		DownDeadline: 2500 * sim.Millisecond,
-	}
-	cfg.Crash = machine.CrashPlan{
-		Count:    2,
-		Seed:     5,
-		Start:    50 * sim.Millisecond,
-		Window:   400 * sim.Millisecond,
-		Downtime: 800 * sim.Millisecond,
-	}
-	cfg.MemberFail = machine.MemberFailPlan{At: 100 * sim.Millisecond, Array: 0, Member: 1}
-	cfg.Rebuild = disk.RebuildPolicy{Chunk: 128 << 10, Gap: 2 * sim.Millisecond}
-	return cfg
-}
-
 // digests runs the scenario once and returns (fingerprint, traceDigest).
-func digests(sc scenario) (uint64, uint64, error) {
+func digests(sc scenarios.Scenario) (uint64, uint64, error) {
 	tl := trace.NewLog(1 << 18)
-	spec := gateSpec(tl)
-	if sc.tweak != nil {
-		sc.tweak(&spec)
+	spec := scenarios.QuickstartSpec(tl)
+	if sc.Tweak != nil {
+		sc.Tweak(&spec)
 	}
-	res, err := workload.Run(sc.cfg(), spec)
+	res, err := workload.Run(sc.Config(), spec)
 	if err != nil {
-		return 0, 0, fmt.Errorf("%s run failed: %w", sc.name, err)
+		return 0, 0, fmt.Errorf("%s run failed: %w", sc.Name, err)
 	}
 	if res.Fault.GiveUps != 0 {
-		return 0, 0, fmt.Errorf("%s run exhausted %d retry budget(s) under transient faults", sc.name, res.Fault.GiveUps)
+		return 0, 0, fmt.Errorf("%s run exhausted %d retry budget(s) under transient faults", sc.Name, res.Fault.GiveUps)
 	}
 	return res.Fingerprint(), tl.Digest(), nil
-}
-
-type scenario struct {
-	name  string
-	cfg   func() machine.Config
-	tweak func(*workload.Spec)
-}
-
-// scenarios are the gated runs, in golden-file line order.
-var scenarios = []scenario{
-	{"quickstart", gateMachine, nil},
-	{"chaos", chaosMachine, nil},
-	{"crash", crashMachine, func(spec *workload.Spec) { spec.ContinueOnUnavailable = true }},
 }
 
 func main() {
@@ -138,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	var lines []string
-	for _, sc := range scenarios {
+	for _, sc := range scenarios.Golden() {
 		fp1, td1, err := digests(sc)
 		if err != nil {
 			fatal(err.Error())
@@ -149,11 +67,11 @@ func main() {
 		}
 		if fp1 != fp2 || td1 != td2 {
 			fatal(fmt.Sprintf("%s: two identical runs diverged: fingerprint %016x vs %016x, trace %016x vs %016x",
-				sc.name, fp1, fp2, td1, td2))
+				sc.Name, fp1, fp2, td1, td2))
 		}
 		lines = append(lines,
-			fmt.Sprintf("%s fingerprint %016x", sc.name, fp1),
-			fmt.Sprintf("%s trace %016x", sc.name, td1))
+			fmt.Sprintf("%s fingerprint %016x", sc.Name, fp1),
+			fmt.Sprintf("%s trace %016x", sc.Name, td1))
 	}
 	got := strings.Join(lines, "\n") + "\n"
 
@@ -180,18 +98,40 @@ func main() {
 	}
 }
 
+// allocGatePackages lists each gated package with its benchmark filter.
+// Splitting per package keeps the -bench regexps anchored so unrelated
+// benchmarks in the same package can't sneak into the gate.
+var allocGatePackages = []struct {
+	pkg   string
+	bench string
+}{
+	{"./internal/sim/", "BenchmarkEventThroughput$"},
+	{"./internal/mesh/", "BenchmarkSend$"},
+	{"./internal/pfs/", "BenchmarkClientSteadyRead$"},
+	{"./internal/ionode/", "BenchmarkServicePath$"},
+}
+
 // zeroAllocBenches are the hot paths pinned at 0 allocs/op. Names are
 // matched as the benchmark-name prefix of `go test -bench` output lines
 // (which append -N for GOMAXPROCS).
 var zeroAllocBenches = map[string]bool{
-	"BenchmarkEventThroughput": true, // sim.Kernel event dispatch
-	"BenchmarkSend":            true, // mesh message delivery
+	"BenchmarkEventThroughput":  true, // sim.Kernel event dispatch
+	"BenchmarkSend":             true, // mesh message delivery
+	"BenchmarkClientSteadyRead": true, // pfs client steady-state read path
+	"BenchmarkServicePath":      true, // ionode request service path
 }
 
 func gateAllocs() {
-	cmd := exec.Command("go", "test", "-run=^$",
-		"-bench=BenchmarkEventThroughput$|BenchmarkSend$",
-		"-benchtime=100x", "-benchmem", "./internal/sim/", "./internal/mesh/")
+	args := []string{"test", "-run=^$", "-benchtime=100x", "-benchmem"}
+	var filters []string
+	for _, g := range allocGatePackages {
+		filters = append(filters, g.bench)
+	}
+	args = append(args, "-bench="+strings.Join(filters, "|"))
+	for _, g := range allocGatePackages {
+		args = append(args, g.pkg)
+	}
+	cmd := exec.Command("go", args...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		fatal(fmt.Sprintf("alloc gate: benchmarks failed: %v\n%s", err, out))

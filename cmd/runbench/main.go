@@ -1,0 +1,156 @@
+// Command runbench is the end-to-end benchmark harness: it runs the
+// three golden scenarios (healthy quickstart, chaos, crash) — the exact
+// runs cmd/detgate digests — and reports how fast the simulator gets
+// through them: events per wall-second, simulated seconds per
+// wall-second, and heap allocations per simulated read. Results land in
+// BENCH_run.json next to BENCH_sweep.json (regenerate both with
+// `make bench`).
+//
+// Profile capture: -cpuprofile and -memprofile write standard pprof
+// files covering the measurement runs, for `go tool pprof`.
+//
+// Speedup tracking: -baseline takes a previous BENCH_run.json from the
+// SAME machine and records the healthy-scenario speedup against it.
+// Numbers are wall-clock and machine-dependent — the JSON records
+// num_cpu and gomaxprocs, and comparing files from different hardware
+// measures the hardware, not the code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/runbench"
+	"repro/internal/scenarios"
+)
+
+type report struct {
+	GoVersion  string                          `json:"go_version"`
+	GOOS       string                          `json:"goos"`
+	GOARCH     string                          `json:"goarch"`
+	NumCPU     int                             `json:"num_cpu"`
+	GOMAXPROCS int                             `json:"gomaxprocs"`
+	Iterations int                             `json:"iterations"`
+	Scenarios  map[string]runbench.Measurement `json:"scenarios"`
+
+	// Baseline comparison (present only with -baseline): the healthy
+	// scenario's events/sec ratio against the given earlier report. The
+	// two runs cover identical event schedules (detgate pins them), so
+	// the events/sec ratio is exactly the end-to-end wall-clock speedup.
+	BaselinePath         string  `json:"baseline_path,omitempty"`
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
+	SpeedupHealthy       float64 `json:"speedup_healthy,omitempty"`
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_run.json", "output JSON path (- for stdout)")
+		iters      = flag.Int("iterations", 5, "runs per scenario; fastest wall-clock pass wins")
+		short      = flag.Bool("short", false, "CI smoke mode: one run per scenario")
+		only       = flag.String("scenario", "", "run only this golden scenario (quickstart, chaos, crash)")
+		baseline   = flag.String("baseline", "", "earlier BENCH_run.json from this machine to compute speedup against")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement runs")
+	)
+	flag.Parse()
+	opt := runbench.Options{Iterations: *iters}
+	if *short {
+		opt.Iterations = 1
+		opt.MinWall = 50 * time.Millisecond
+	}
+
+	scs := scenarios.Golden()
+	if *only != "" {
+		sc, ok := scenarios.ByName(*only)
+		if !ok {
+			fatal(fmt.Sprintf("unknown scenario %q", *only))
+		}
+		scs = []scenarios.Scenario{sc}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err.Error())
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Iterations: opt.Iterations,
+		Scenarios:  map[string]runbench.Measurement{},
+	}
+	for _, sc := range scs {
+		m, err := runbench.Measure(sc, opt)
+		if err != nil {
+			fatal(err.Error())
+		}
+		rep.Scenarios[sc.Name] = m
+		fmt.Printf("%-10s %8.3fs wall  %7.1f sim-s/wall-s  %11.0f events/s  %6.1f allocs/read\n",
+			sc.Name, m.WallSec, m.SimPerWall, m.EventsPerSec, m.AllocsPerRead)
+	}
+
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err.Error())
+		}
+		var base report
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fatal(fmt.Sprintf("parsing %s: %v", *baseline, err))
+		}
+		bq, okB := base.Scenarios["quickstart"]
+		nq, okN := rep.Scenarios["quickstart"]
+		if okB && okN && bq.EventsPerSec > 0 {
+			rep.BaselinePath = *baseline
+			rep.BaselineEventsPerSec = bq.EventsPerSec
+			rep.SpeedupHealthy = nq.EventsPerSec / bq.EventsPerSec
+			fmt.Printf("healthy speedup vs %s: %.2fx\n", *baseline, rep.SpeedupHealthy)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err.Error())
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err.Error())
+		}
+		f.Close()
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err.Error())
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err.Error())
+	}
+	fmt.Println("wrote", *out)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "runbench: "+msg)
+	os.Exit(1)
+}

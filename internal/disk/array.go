@@ -56,6 +56,8 @@ type Array struct {
 	tr     *trace.Log
 	trNode int
 
+	opFree []*arrayOp // recycled ReadCall/WriteCall bookkeeping
+
 	// Measurements.
 	Requests      int64
 	Bytes         int64
@@ -226,6 +228,166 @@ func (a *Array) Read(off, n int64) *sim.Signal { return a.do(off, n, false) }
 // completion signal.
 func (a *Array) Write(off, n int64) *sim.Signal { return a.do(off, n, true) }
 
+// arrayOp is the pooled bookkeeping of one in-flight ReadCall/WriteCall:
+// the member Request structs, the completion countdown, and the caller's
+// callback. Ops and their request storage are recycled on the array's
+// free list, so the callback form of an array I/O allocates nothing in
+// steady state.
+type arrayOp struct {
+	a         *Array
+	sector    int64
+	count     int64
+	write     bool
+	skip      int // member skipped in degraded mode, -1 while healthy
+	remaining int
+	firstErr  error
+	recon     sim.Time
+	fn        func(any, error)
+	arg       any
+	reqs      []Request // member request structs, reused across ops
+}
+
+// issueArrayOp is the controller-overhead event of a callback-form array
+// request: it fans the op out to the member disks.
+func issueArrayOp(v any) {
+	op := v.(*arrayOp)
+	a := op.a
+	if cap(op.reqs) < len(a.members) {
+		op.reqs = make([]Request, len(a.members))
+	}
+	op.reqs = op.reqs[:len(a.members)]
+	for i, d := range a.members {
+		if i == op.skip {
+			continue
+		}
+		req := &op.reqs[i]
+		*req = Request{Sector: op.sector, Count: op.count, Write: op.write,
+			OnDone: arrayMemberDone, DoneArg: op}
+		d.Submit(req)
+	}
+}
+
+// arrayMemberDone is one member's completion. The last member schedules
+// the caller's callback — directly, or after the parity reconstruction
+// delay on a degraded read — reproducing the legacy do() event schedule
+// exactly (see finishArrayOp).
+func arrayMemberDone(v any, err error) {
+	op := v.(*arrayOp)
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	a := op.a
+	if op.recon > 0 && op.firstErr == nil {
+		a.k.AfterCallErr(op.recon, finishArrayOp, op, nil)
+		return
+	}
+	a.k.AfterCallErr(0, op.fn, op.arg, op.firstErr)
+	a.putOp(op)
+}
+
+// finishArrayOp ends a degraded read after reconstruction: a separate
+// zero-delay hop delivers the callback, matching the legacy path's
+// After(recon) + Signal.Fire two-event shape.
+func finishArrayOp(v any, _ error) {
+	op := v.(*arrayOp)
+	op.a.k.AfterCallErr(0, op.fn, op.arg, nil)
+	op.a.putOp(op)
+}
+
+func (a *Array) getOp() *arrayOp {
+	if n := len(a.opFree); n > 0 {
+		op := a.opFree[n-1]
+		a.opFree[n-1] = nil
+		a.opFree = a.opFree[:n-1]
+		return op
+	}
+	return &arrayOp{a: a}
+}
+
+func (a *Array) putOp(op *arrayOp) {
+	op.fn, op.arg, op.firstErr = nil, nil, nil
+	a.opFree = append(a.opFree, op)
+}
+
+// ReadCall is the callback form of Read: fn(arg, err) is scheduled at the
+// instant the read completes, with no signal or closure constructed.
+// Timing, accounting, degraded behavior, and event scheduling are
+// identical to Read observed through a signal with one callback.
+func (a *Array) ReadCall(off, n int64, fn func(any, error), arg any) {
+	a.doCall(off, n, false, fn, arg)
+}
+
+// WriteCall is the callback form of Write.
+func (a *Array) WriteCall(off, n int64, fn func(any, error), arg any) {
+	a.doCall(off, n, true, fn, arg)
+}
+
+// doCall is do() with pooled bookkeeping instead of per-request signals.
+// The two paths must stay event-for-event identical; do() is the
+// reference.
+func (a *Array) doCall(off, n int64, write bool, fn func(any, error), arg any) {
+	if off < 0 || n <= 0 || off+n > a.Capacity() {
+		panic(fmt.Sprintf("disk: array request [%d,+%d) outside %d-byte array", off, n, a.Capacity()))
+	}
+	a.Requests++
+	a.Bytes += n
+
+	ss := a.members[0].Geometry().SectorSize
+	nm := int64(len(a.members))
+	memberOff := off / nm
+	memberLen := (n + nm - 1) / nm
+	sector := memberOff / ss
+	count := (memberOff+memberLen+ss-1)/ss - sector
+	if count == 0 {
+		count = 1
+	}
+	if end := sector + count; end > a.highSector {
+		a.highSector = end
+	}
+
+	degraded := a.failed >= 0 && a.parity
+	var recon sim.Time
+	if degraded && !write {
+		a.DegradedReads++
+		a.emit(trace.DegradedRead, off, n)
+		recon = sim.Seconds(float64(count*ss) / a.reconBW)
+	}
+
+	op := a.getOp()
+	op.sector, op.count, op.write = sector, count, write
+	op.skip = -1
+	op.remaining = len(a.members)
+	if degraded {
+		op.skip = a.failed
+		op.remaining--
+	}
+	op.recon = recon
+	op.fn, op.arg = fn, arg
+	a.k.AtCall(a.k.Now()+a.overhead, issueArrayOp, op)
+}
+
+// rebuildPass counts down one rebuild chunk's member reads plus the spare
+// write; the signal wakes the rebuild process. The struct and its signal
+// are reused across passes.
+type rebuildPass struct {
+	remaining int
+	pass      *sim.Signal
+}
+
+// rebuildMemberDone is one rebuild request's completion. Rebuild retries
+// media hiccups internally; the pass completes regardless of err.
+func rebuildMemberDone(v any, _ error) {
+	rp := v.(*rebuildPass)
+	rp.remaining--
+	if rp.remaining == 0 {
+		rp.pass.Fire(nil)
+	}
+}
+
 // StartRebuild spawns the background rebuild: a hot spare is spun up and
 // the dead member's contents — every sector the array has ever touched —
 // are reconstructed chunk by chunk from the survivors and written onto
@@ -256,30 +418,26 @@ func (a *Array) StartRebuild(pol RebuildPolicy) {
 	end := a.highSector // sectors beyond the high-water mark were never written
 
 	a.k.Go("rebuild/"+a.name, func(p *sim.Proc) {
+		rp := &rebuildPass{pass: sim.NewSignal(a.k)}
+		reqs := make([]Request, len(a.members)+1)
 		for sector := int64(0); sector < end; sector += chunkSectors {
 			count := min(chunkSectors, end-sector)
-			pass := sim.NewSignal(a.k)
-			remaining := len(a.members) // survivors + the spare write
-			fin := func(error) {
-				// Rebuild retries media hiccups internally; the pass
-				// completes regardless.
-				remaining--
-				if remaining == 0 {
-					pass.Fire(nil)
-				}
-			}
+			rp.pass.Reset(a.k)
+			rp.remaining = len(a.members) // survivors + the spare write
 			for i, d := range a.members {
 				if i == a.failed {
 					continue
 				}
-				req := &Request{Sector: sector, Count: count, Done: sim.NewSignal(a.k)}
-				req.Done.OnFire(fin)
+				req := &reqs[i]
+				*req = Request{Sector: sector, Count: count,
+					OnDone: rebuildMemberDone, DoneArg: rp}
 				d.Submit(req)
 			}
-			w := &Request{Sector: sector, Count: count, Write: true, Done: sim.NewSignal(a.k)}
-			w.Done.OnFire(fin)
+			w := &reqs[len(a.members)]
+			*w = Request{Sector: sector, Count: count, Write: true,
+				OnDone: rebuildMemberDone, DoneArg: rp}
 			a.spare.Submit(w)
-			pass.Wait(p) //nolint:errcheck // pass always fires nil
+			rp.pass.Wait(p) //nolint:errcheck // pass always fires nil
 			a.RebuildIOs++
 			a.RebuildBytes += count * ss
 			a.emit(trace.RebuildIO, sector*ss, count*ss)

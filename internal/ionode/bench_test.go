@@ -1,0 +1,67 @@
+package ionode
+
+import (
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/ufs"
+)
+
+// benchChain drives one request at a time through the service path: each
+// reply immediately issues the next read, so the server stays in steady
+// state with exactly one outstanding operation.
+type benchChain struct {
+	s    *Server
+	h    ufs.Handle
+	left int
+	err  error
+}
+
+func benchChainReply(a any, err error) {
+	c := a.(*benchChain)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	c.left--
+	if c.left > 0 {
+		c.s.ReadCall(0, c.h, int64(c.left%64)*(8<<10), 8<<10, true, benchChainReply, c)
+	}
+}
+
+// BenchmarkServicePath pins the I/O node request service path — admission,
+// CPU charge, the ufs fast-path read, disk service, and the mesh reply —
+// at 0 allocs/op. A warm-up chain fills the operation pools and histogram
+// storage first. detgate runs this with -benchtime=100x as part of the
+// allocation gate.
+func BenchmarkServicePath(b *testing.B) {
+	k := sim.NewKernel()
+	m := mesh.New(k, mesh.Paragon(2, 2))
+	a := disk.NewArray(k, "raid", 4, disk.Seagate94601(), disk.SCAN, 500*sim.Microsecond)
+	cfg := ufs.DefaultConfig()
+	cfg.Fragmentation = 0
+	fs := ufs.New(k, a, cfg)
+	if err := fs.Create("stripe", 8<<20); err != nil {
+		b.Fatal(err)
+	}
+	h, err := fs.Lookup("stripe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(k, m, 3, fs, 300*sim.Microsecond)
+	run := func(reads int) {
+		c := &benchChain{s: s, h: h, left: reads}
+		c.s.ReadCall(0, c.h, 0, 8<<10, true, benchChainReply, c)
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if c.err != nil {
+			b.Fatal(c.err)
+		}
+	}
+	run(400) // warm the pools and sample storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}

@@ -74,6 +74,7 @@ type Server struct {
 	downUntil sim.Time // advertised restart time while down (0 when up)
 	epoch     uint64   // incarnation counter; bumped by every crash
 	tr        *trace.Log
+	opFree    []*srvOp // pooled ReadCall bookkeeping
 
 	// Measurements.
 	Requests      int64
@@ -290,6 +291,134 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 	})
 }
 
+// srvOp is the pooled bookkeeping of one ReadCall: everything the legacy
+// Read captured in closures. An op travels the whole request chain —
+// dispatch CPU, disk completion, reply delivery — as the arg of
+// pooled-args events, and returns to the free list when the reply runs
+// (or when an epoch check discards the request). Ops whose reply message
+// is dropped by the mesh are simply garbage collected; the pool is an
+// optimization, not an accounting mechanism.
+type srvOp struct {
+	s        *Server
+	from     int
+	h        ufs.Handle
+	off, n   int64
+	fastPath bool
+	probe    bool
+	start    sim.Time
+	epoch    uint64
+	err      error // carried to the error-reply delivery
+	reply    func(any, error)
+	replyArg any
+}
+
+func (s *Server) getOp() *srvOp {
+	if n := len(s.opFree); n > 0 {
+		op := s.opFree[n-1]
+		s.opFree[n-1] = nil
+		s.opFree = s.opFree[:n-1]
+		return op
+	}
+	return &srvOp{s: s}
+}
+
+func (s *Server) putOp(op *srvOp) {
+	op.h = ufs.Handle{}
+	op.probe = false
+	op.err = nil
+	op.reply = nil
+	op.replyArg = nil
+	s.opFree = append(s.opFree, op)
+}
+
+// ReadCall is the pooled-args form of Read, for the steady-state stripe
+// path: the file arrives as a resolved ufs.Handle and the reply as a
+// callback-plus-arg pair, so serving the request constructs no closures.
+// Dispatch, shedding, epoch discard, accounting, and reply timing are
+// identical to Read.
+func (s *Server) ReadCall(from int, h ufs.Handle, off, n int64, fastPath bool, reply func(any, error), arg any) {
+	if s.down {
+		s.Dropped++
+		return
+	}
+	s.Requests++
+	op := s.getOp()
+	op.from, op.h, op.off, op.n, op.fastPath = from, h, off, n, fastPath
+	op.reply, op.replyArg = reply, arg
+	op.start = s.k.Now()
+	op.epoch = s.epoch
+	s.onCPUCall(srvReadCPU, op)
+}
+
+// srvReadCPU runs on the server CPU: admission, then the disk read.
+func srvReadCPU(v any) {
+	op := v.(*srvOp)
+	s := op.s
+	if s.epoch != op.epoch {
+		s.Dropped++
+		s.putOp(op)
+		return
+	}
+	shed, probe := s.admit()
+	if shed {
+		s.Shed++
+		op.err = ErrOverloaded
+		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
+		return
+	}
+	op.probe = probe
+	opt := ufs.ReadOptions{FastPath: op.fastPath}
+	if err := s.fs.ReadCall(op.h, op.off, op.n, opt, srvDiskDone, op); err != nil {
+		if probe {
+			s.probeAbort()
+		}
+		// Error replies are small control messages.
+		op.err = err
+		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
+	}
+}
+
+// srvDiskDone runs when the disk (or cache) has the data at the I/O node.
+func srvDiskDone(v any, ioErr error) {
+	op := v.(*srvOp)
+	s := op.s
+	if s.epoch != op.epoch {
+		// The node crashed while the disk worked. The data (or error)
+		// belongs to a dead incarnation: no reply, no accounting.
+		s.Dropped++
+		s.putOp(op)
+		return
+	}
+	s.noteDisk(ioErr != nil, op.probe)
+	if ioErr != nil {
+		s.Faults++
+		op.err = ioErr
+		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
+		return
+	}
+	s.BytesServed += op.n
+	s.m.SendCall(s.node, op.from, op.n, srvReplyData, op)
+}
+
+// srvReplyErr delivers an error reply on the requester.
+func srvReplyErr(v any) {
+	op := v.(*srvOp)
+	reply, arg, err := op.reply, op.replyArg, op.err
+	op.s.putOp(op)
+	reply(arg, err)
+}
+
+// srvReplyData delivers the data reply on the requester and closes out
+// the service-time measurement.
+func srvReplyData(v any) {
+	op := v.(*srvOp)
+	s := op.s
+	s.Service.ObserveTime(s.k.Now() - op.start)
+	reply, arg := op.reply, op.replyArg
+	s.putOp(op)
+	reply(arg, nil)
+}
+
 // Prefetch warms the node's buffer cache with [off, off+n) of local file
 // name without shipping data anywhere: the server-side prefetch
 // placement. Fire-and-forget — errors on a speculative read are dropped.
@@ -379,4 +508,14 @@ func (s *Server) onCPU(fn func()) {
 	}
 	s.cpuFree = start + s.dispatch
 	s.k.At(s.cpuFree, fn)
+}
+
+// onCPUCall is onCPU for pooled-args callbacks.
+func (s *Server) onCPUCall(fn func(any), arg any) {
+	start := s.k.Now()
+	if s.cpuFree > start {
+		start = s.cpuFree
+	}
+	s.cpuFree = start + s.dispatch
+	s.k.AtCall(s.cpuFree, fn, arg)
 }

@@ -187,6 +187,29 @@ func occupy(free *sim.Time, arrival sim.Time, dur sim.Time) sim.Time {
 // not consume sender CPU time; callers that model a blocking sender should
 // sleep SendOverhead around the call (see Transfer).
 func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
+	deliveredAt, delivered := m.transit(src, dst, size)
+	if delivered && deliver != nil {
+		m.k.At(deliveredAt, deliver)
+	}
+	return deliveredAt
+}
+
+// SendCall is Send with a pooled-args delivery callback (see
+// sim.Kernel.AtCall): deliver(arg) runs at the destination with no
+// closure constructed, making the whole send allocation-free. Routing,
+// timing, accounting, and drop behavior are identical to Send.
+func (m *Mesh) SendCall(src, dst int, size int64, deliver func(any), arg any) sim.Time {
+	deliveredAt, delivered := m.transit(src, dst, size)
+	if delivered && deliver != nil {
+		m.k.AtCall(deliveredAt, deliver, arg)
+	}
+	return deliveredAt
+}
+
+// transit routes the message, advances the port and link clocks, and
+// records the measurement. delivered is false when the destination is
+// down and the delivery callback must not run.
+func (m *Mesh) transit(src, dst int, size int64) (deliveredAt sim.Time, delivered bool) {
 	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
 	}
@@ -236,17 +259,14 @@ func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
 	// Ejection port at the destination, then the tail (serialization time)
 	// and receive-side software.
 	ejStart := occupy(&m.ejectFree[dst], arrival+m.cfg.HopLatency, nicXfer)
-	deliveredAt := ejStart + nicXfer + m.cfg.RecvOverhead
+	deliveredAt = ejStart + nicXfer + m.cfg.RecvOverhead
 
 	m.Latency.Observe((deliveredAt - now).Seconds())
 	if m.down[dst] {
 		m.Dropped++
-		return deliveredAt
+		return deliveredAt, false
 	}
-	if deliver != nil {
-		m.k.At(deliveredAt, deliver)
-	}
-	return deliveredAt
+	return deliveredAt, true
 }
 
 // Transfer is the blocking-process form of Send: the calling process pays

@@ -41,8 +41,25 @@ func (f *File) IWriteAt(off, n int64) *Async {
 	return f.enqueue(&Async{Off: off, N: n, Write: true})
 }
 
+// IReadAtReusing is IReadAt with caller-managed request storage: req
+// (nil on the first call) is reset and requeued, so a steady stream of
+// asynchronous reads — the prefetcher's issue loop — allocates no Async
+// and no Signal. The caller must not requeue req until its Done has
+// fired and every consumer is finished with it.
+func (f *File) IReadAtReusing(req *Async, off, n int64) *Async {
+	if req == nil {
+		req = &Async{}
+	}
+	req.Off, req.N, req.Write = off, n, false
+	return f.enqueue(req)
+}
+
 func (f *File) enqueue(req *Async) *Async {
-	req.Done = sim.NewSignal(f.fsys.k)
+	if req.Done == nil {
+		req.Done = sim.NewSignal(f.fsys.k)
+	} else {
+		req.Done.Reset(f.fsys.k)
+	}
 	op := "read"
 	if req.Write {
 		op = "write"
@@ -75,7 +92,10 @@ func (f *File) artLoop(p *sim.Proc) {
 		p.Sleep(f.fsys.cfg.ARTSetup)
 		var err error
 		if req.Write {
-			err = f.fsys.stripeIO(f.node, f.meta, req.Off, req.N, true).Wait(p)
+			sig := f.fsys.getSig()
+			f.fsys.stripeIOInto(sig, f.node, f.meta, req.Off, req.N, true)
+			err = sig.Wait(p)
+			f.fsys.putSig(sig)
 		} else {
 			err = f.BlockingIO(p, req.Off, req.N)
 		}

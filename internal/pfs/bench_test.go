@@ -15,6 +15,42 @@ func BenchmarkDecluster(b *testing.B) {
 	}
 }
 
+// BenchmarkClientSteadyRead pins the client steady-state read path —
+// decluster, per-piece request fan-out over the mesh, I/O node service,
+// and completion delivery — at 0 allocs/op. One warm-up pass fills every
+// pool (events, signals, stripe ops, piece attempts, server ops, ufs read
+// ops, disk requests) and the histogram sample storage; after that a
+// blocking stripe read must not allocate. detgate runs this with
+// -benchtime=100x as part of the allocation gate.
+func BenchmarkClientSteadyRead(b *testing.B) {
+	r := newRig(b, 1, 4)
+	const su = 64 << 10
+	if err := r.fsys.Create("bench", 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	f, err := r.fsys.Open("bench", 0, MUnix, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(reads int) {
+		r.k.Go("reader", func(p *sim.Proc) {
+			for i := 0; i < reads; i++ {
+				if err := f.BlockingIO(p, int64(i%16)*su, su); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		if err := r.k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run(512) // warm the pools and sample storage
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}
+
 // BenchmarkCollectiveRead measures an end-to-end M_RECORD whole-file scan
 // on a small machine: the cost of simulating one evaluation data point.
 func BenchmarkCollectiveRead(b *testing.B) {

@@ -353,7 +353,11 @@ func (f *File) BlockingIO(p *sim.Proc, off, n int64) error {
 	if off < 0 || n <= 0 || off+n > f.meta.size {
 		return fmt.Errorf("pfs: read [%d,+%d) outside %s (%d bytes)", off, n, f.meta.name, f.meta.size)
 	}
-	if err := f.fsys.stripeIO(f.node, f.meta, off, n, false).Wait(p); err != nil {
+	sig := f.fsys.getSig()
+	f.fsys.stripeIOInto(sig, f.node, f.meta, off, n, false)
+	err := sig.Wait(p)
+	f.fsys.putSig(sig)
+	if err != nil {
 		return err
 	}
 	f.IOBytes += n
@@ -392,7 +396,11 @@ func (f *File) Write(p *sim.Proc, off, n int64) error {
 		return fmt.Errorf("pfs: write [%d,+%d) outside %s (%d bytes)", off, n, f.meta.name, f.meta.size)
 	}
 	p.Sleep(f.fsys.cfg.ClientCall)
-	return f.fsys.stripeIO(f.node, f.meta, off, n, true).Wait(p)
+	sig := f.fsys.getSig()
+	f.fsys.stripeIOInto(sig, f.node, f.meta, off, n, true)
+	err := sig.Wait(p)
+	f.fsys.putSig(sig)
+	return err
 }
 
 // NextRecordOffset predicts where this node's next read in the current

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/ufs"
 )
 
 // Config holds the software costs and striping defaults of a PFS mount.
@@ -65,10 +66,11 @@ var (
 // fileMeta is the OS-server-side state of one PFS file, shared by every
 // open instance.
 type fileMeta struct {
-	name  string
-	size  int64
-	su    int64 // stripe unit
-	group []int // indices into FileSystem.servers
+	name    string
+	size    int64
+	su      int64        // stripe unit
+	group   []int        // indices into FileSystem.servers
+	handles []ufs.Handle // per group member: stripe file handle, resolved at create
 
 	sharedOff  int64      // the shared file pointer
 	token      *sim.Mutex // pointer token for M_UNIX / M_LOG
@@ -89,6 +91,12 @@ type FileSystem struct {
 	dirs    map[string]bool // namespace directories; "/" always exists
 	created int             // files created; drives stripe-base rotation
 	tr      *trace.Log      // optional event timeline
+
+	// Free lists and scratch for the allocation-free stripe path.
+	pieceBuf    []piece         // decluster scratch, one op at a time
+	sigFree     []*sim.Signal   // pooled signals for blocking stripe ops
+	stripeFree  []*stripeOp     // pooled per-op bookkeeping
+	attemptFree []*pieceAttempt // pooled per-attempt bookkeeping
 
 	// Measurements.
 	StripeRequests int64 // per-I/O-node requests issued (after declustering)
@@ -199,10 +207,14 @@ func (fsys *FileSystem) CreateStriped(name string, size, su int64, group []int) 
 		group: rotated,
 		token: sim.NewMutex(fsys.k),
 	}
-	// Create the per-I/O-node stripe files.
+	// Create the per-I/O-node stripe files, resolving each one's UFS
+	// handle so the read path never repeats the name lookup. Members
+	// assigned no stripe units keep a zero handle; declustering never
+	// targets them.
 	g := int64(len(rotated))
 	units := (size + su - 1) / su
 	lastLen := size - (units-1)*su
+	meta.handles = make([]ufs.Handle, g)
 	for j := int64(0); j < g; j++ {
 		cnt := (units - j + g - 1) / g // units assigned to group member j
 		if cnt <= 0 {
@@ -215,6 +227,9 @@ func (fsys *FileSystem) CreateStriped(name string, size, su int64, group []int) 
 		srv := fsys.servers[rotated[j]]
 		if err := srv.FS().Create(meta.localName(), local); err != nil {
 			return fmt.Errorf("pfs: creating stripe on I/O node %d: %w", rotated[j], err)
+		}
+		if h, err := srv.FS().Lookup(meta.localName()); err == nil {
+			meta.handles[j] = h
 		}
 	}
 	fsys.files[name] = meta
@@ -266,7 +281,18 @@ type piece struct {
 // contiguous global range each member's share is one contiguous local
 // range).
 func decluster(off, n, su int64, g int) []piece {
-	var out []piece
+	return declusterAppend(nil, off, n, su, g)
+}
+
+// declusterInto is decluster into the mount's scratch buffer. The buffer
+// is valid until the next stripe operation on this mount; stripeIOInto
+// consumes it before anything can re-enter.
+func (fsys *FileSystem) declusterInto(off, n, su int64, g int) []piece {
+	fsys.pieceBuf = declusterAppend(fsys.pieceBuf[:0], off, n, su, g)
+	return fsys.pieceBuf
+}
+
+func declusterAppend(out []piece, off, n, su int64, g int) []piece {
 	end := off + n
 	for cur := off; cur < end; {
 		u := cur / su
@@ -298,47 +324,104 @@ func decluster(off, n, su int64, g int) []piece {
 	return out
 }
 
-// stripeIO declusters [off, off+n) and issues the per-I/O-node requests
-// over the mesh, returning a signal that fires when every piece has been
-// served and delivered back to (or acknowledged for) compute node node.
-// Each piece rides the retry machinery (sendPiece); with the zero
+// getSig borrows a signal for a blocking stripe operation. The borrower
+// must hold it until after it fires (a blocked Wait reads the error after
+// the waking event), then return it with putSig.
+func (fsys *FileSystem) getSig() *sim.Signal {
+	if n := len(fsys.sigFree); n > 0 {
+		s := fsys.sigFree[n-1]
+		fsys.sigFree[n-1] = nil
+		fsys.sigFree = fsys.sigFree[:n-1]
+		s.Reset(fsys.k)
+		return s
+	}
+	return sim.NewSignal(fsys.k)
+}
+
+func (fsys *FileSystem) putSig(s *sim.Signal) {
+	fsys.sigFree = append(fsys.sigFree, s)
+}
+
+// stripeOp is the pooled bookkeeping of one stripe operation: the
+// countdown over declustered pieces, the first error, and the
+// degraded/abandoned accounting the legacy stripeIO kept in closures.
+// The op returns to the free list the instant the countdown reaches
+// zero; settled late attempts never touch their op again.
+type stripeOp struct {
+	fsys      *FileSystem
+	remaining int
+	firstErr  error
+	recovered bool
+	okBytes   int64 // read bytes of pieces that individually succeeded
+	write     bool
+	done      *sim.Signal // caller-owned; fired, never recycled here
+}
+
+func (fsys *FileSystem) getStripeOp() *stripeOp {
+	if n := len(fsys.stripeFree); n > 0 {
+		op := fsys.stripeFree[n-1]
+		fsys.stripeFree[n-1] = nil
+		fsys.stripeFree = fsys.stripeFree[:n-1]
+		return op
+	}
+	return &stripeOp{fsys: fsys}
+}
+
+func (fsys *FileSystem) putStripeOp(op *stripeOp) {
+	op.remaining = 0
+	op.firstErr = nil
+	op.recovered = false
+	op.okBytes = 0
+	op.write = false
+	op.done = nil
+	fsys.stripeFree = append(fsys.stripeFree, op)
+}
+
+// finishOne retires one piece of the operation. The last piece settles
+// the whole op: degraded/abandoned accounting, then the caller's signal.
+func (op *stripeOp) finishOne(err error, retried bool) {
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.recovered = op.recovered || retried
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	fsys := op.fsys
+	if op.firstErr == nil && op.recovered && !op.write {
+		fsys.DegradedReads++
+	}
+	if op.firstErr != nil && !op.write {
+		// The op fails as a whole, but some pieces were served: the
+		// server paid for those bytes, the application never sees them.
+		// Account them so no byte goes missing.
+		fsys.AbandonedBytes += op.okBytes
+	}
+	done, firstErr := op.done, op.firstErr
+	fsys.putStripeOp(op)
+	done.Fire(firstErr)
+}
+
+// stripeIOInto declusters [off, off+n) and issues the per-I/O-node
+// requests over the mesh, firing done when every piece has been served
+// and delivered back to (or acknowledged for) compute node node. Each
+// piece rides the retry machinery (sendAttempt); with the zero
 // RetryPolicy that machinery degenerates to the plain one-shot issue.
-func (fsys *FileSystem) stripeIO(node int, meta *fileMeta, off, n int64, write bool) *sim.Signal {
-	done := sim.NewSignal(fsys.k)
-	pieces := decluster(off, n, meta.su, len(meta.group))
+// The caller owns done (typically a pooled signal) and must keep it
+// until it fires.
+func (fsys *FileSystem) stripeIOInto(done *sim.Signal, node int, meta *fileMeta, off, n int64, write bool) {
+	pieces := fsys.declusterInto(off, n, meta.su, len(meta.group))
 	fsys.StripeRequests += int64(len(pieces))
-	remaining := len(pieces)
-	var firstErr error
-	recovered := false
-	okBytes := int64(0) // read bytes of pieces that individually succeeded
-	finishOne := func(err error, retried bool) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		recovered = recovered || retried
-		remaining--
-		if remaining == 0 {
-			if firstErr == nil && recovered && !write {
-				fsys.DegradedReads++
-			}
-			if firstErr != nil && !write {
-				// The op fails as a whole, but some pieces were served:
-				// the server paid for those bytes, the application never
-				// sees them. Account them so no byte goes missing.
-				fsys.AbandonedBytes += okBytes
-			}
-			done.Fire(firstErr)
-		}
-	}
+	op := fsys.getStripeOp()
+	op.remaining = len(pieces)
+	op.write = write
+	op.done = done
 	first := fsys.k.Now()
-	for _, pc := range pieces {
-		pc := pc
-		fsys.sendPiece(node, meta, pc, write, 0, first, func(err error, retried bool) {
-			if err == nil && !write {
-				okBytes += pc.n
-			}
-			finishOne(err, retried)
-		})
+	for i := range pieces {
+		at := fsys.getAttempt()
+		at.op, at.meta, at.node, at.pc, at.write = op, meta, node, pieces[i], write
+		at.attempt, at.first, at.settled = 0, first, false
+		fsys.sendAttempt(at)
 	}
-	return done
 }

@@ -93,106 +93,212 @@ func (rp RetryPolicy) delay(node int, localOff int64, attempt int) sim.Time {
 	return d + sim.Time(h.Sum64()%uint64(d/4+1))
 }
 
-// sendPiece issues one attempt of a declustered piece to its I/O node
-// and arms the attempt's reply deadline. Exactly one of three things
-// settles the attempt — the reply, the timeout, or nothing (a reply
-// arriving after the timeout already settled it is counted and
-// dropped) — and a settled failure either re-issues the piece after the
-// backoff delay or gives up and surfaces the error to finish.
+// pieceAttempt is the pooled bookkeeping of one attempt of one
+// declustered piece: what the legacy sendPiece captured in closures. Each
+// attempt settles exactly once — by its reply, its timeout, or a
+// down-node park — and failed settles hand the piece to a FRESH attempt
+// struct: the old one must keep its settled flag so a straggling reply
+// (or the losing half of the reply/timeout race) is recognized as stale,
+// exactly the legacy per-attempt `settled` closure variable.
 //
-// first is the time the piece's very first attempt was issued; the
-// down-node deadline is measured from it across all re-issues.
-func (fsys *FileSystem) sendPiece(node int, meta *fileMeta, pc piece, write bool, attempt int, first sim.Time, finish func(err error, retried bool)) {
-	srv := fsys.servers[meta.group[pc.server]]
+// refs counts the event chains holding the attempt (the request/reply
+// chain, plus the timeout when armed); the attempt returns to the free
+// list when both have let go. Chains severed by a crash (a dropped mesh
+// delivery, a server discard) simply never release — such attempts are
+// garbage collected, which only costs the pool a refill.
+type pieceAttempt struct {
+	fsys    *FileSystem
+	op      *stripeOp
+	meta    *fileMeta
+	node    int // requesting compute node
+	pc      piece
+	write   bool
+	attempt int
+	first   sim.Time // first-issue time; the down deadline is measured from it
+	settled bool
+	refs    int
+}
+
+func (fsys *FileSystem) getAttempt() *pieceAttempt {
+	if n := len(fsys.attemptFree); n > 0 {
+		at := fsys.attemptFree[n-1]
+		fsys.attemptFree[n-1] = nil
+		fsys.attemptFree = fsys.attemptFree[:n-1]
+		return at
+	}
+	return &pieceAttempt{fsys: fsys}
+}
+
+func (fsys *FileSystem) putAttempt(at *pieceAttempt) {
+	at.op = nil
+	at.meta = nil
+	at.settled = false
+	at.refs = 0
+	fsys.attemptFree = append(fsys.attemptFree, at)
+}
+
+func (fsys *FileSystem) releaseAttempt(at *pieceAttempt) {
+	at.refs--
+	if at.refs == 0 {
+		fsys.putAttempt(at)
+	}
+}
+
+// cloneAttempt returns a fresh attempt for the same piece, used by retry
+// and the timeout's down-node park; renumber sets the attempt counter.
+func (fsys *FileSystem) cloneAttempt(at *pieceAttempt, renumber int) *pieceAttempt {
+	next := fsys.getAttempt()
+	next.op, next.meta, next.node, next.pc, next.write = at.op, at.meta, at.node, at.pc, at.write
+	next.attempt, next.first, next.settled = renumber, at.first, false
+	return next
+}
+
+// finish surfaces the attempt's final outcome to its stripe operation.
+func (at *pieceAttempt) finish(err error) {
+	op := at.op
+	if err == nil && !at.write {
+		op.okBytes += at.pc.n
+	}
+	op.finishOne(err, at.attempt > 0)
+}
+
+// sendAttempt issues one attempt of a declustered piece to its I/O node
+// and arms the attempt's reply deadline. The attempt arrives fresh (from
+// stripeIOInto, a retry, or a restart park) with no references; the
+// chains armed here hold it until they resolve.
+func (fsys *FileSystem) sendAttempt(at *pieceAttempt) {
+	srv := fsys.servers[at.meta.group[at.pc.server]]
 	pol := fsys.cfg.Retry
 	if pol.DownPoll > 0 && srv.Down() {
 		// Known down before anything hit the wire: park, don't send.
-		fsys.deferToRestart(node, meta, pc, write, attempt, first, finish)
+		fsys.deferAttempt(at)
 		return
 	}
 	reqBytes := fsys.cfg.RequestBytes
-	if write {
-		reqBytes += pc.n // write data travels with the request
+	if at.write {
+		reqBytes += at.pc.n // write data travels with the request
 	}
-	if attempt == 0 {
-		fsys.emit(trace.StripeSend, srv.Node(), meta.name, pc.localOff, pc.n)
+	if at.attempt == 0 {
+		fsys.emit(trace.StripeSend, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
 	}
-
-	settled := false
-	settle := func(err error) {
-		if err != nil && !errors.Is(err, ErrUnavailable) && attempt < pol.MaxRetries {
-			fsys.Retries++
-			fsys.emit(trace.RetryIssue, srv.Node(), meta.name, pc.localOff, pc.n)
-			fsys.k.After(pol.delay(node, pc.localOff, attempt), func() {
-				fsys.sendPiece(node, meta, pc, write, attempt+1, first, finish)
-			})
-			return
-		}
-		if err != nil && pol.Enabled() {
-			fsys.GiveUps++
-			fsys.emit(trace.RetryGiveUp, srv.Node(), meta.name, pc.localOff, pc.n)
-		}
-		finish(err, attempt > 0)
-	}
-	reply := func(err error) {
-		if settled {
-			// The deadline fired first and the piece was re-issued; this
-			// attempt's outcome is stale. Data that did arrive was paid
-			// for at the server and on the mesh but is discarded here.
-			fsys.LateReplies++
-			if err == nil && !write {
-				fsys.LateBytes += pc.n
-			}
-			return
-		}
-		settled = true
-		fsys.emit(trace.StripeReply, srv.Node(), meta.name, pc.localOff, pc.n)
-		settle(err)
-	}
+	at.refs = 1
 	if pol.Timeout > 0 {
-		fsys.k.After(pol.Timeout, func() {
-			if settled {
-				return // reply won the race; the deadline is a no-op
-			}
-			settled = true
-			fsys.Timeouts++
-			fsys.emit(trace.TimeoutFired, srv.Node(), meta.name, pc.localOff, pc.n)
-			if pol.DownPoll > 0 && srv.Down() {
-				// The deadline was the discovery that the node died, not
-				// evidence against a live one: the attempt does not burn
-				// retry budget, the piece re-arms on the restart.
-				fsys.deferToRestart(node, meta, pc, write, attempt, first, finish)
-				return
-			}
-			settle(fmt.Errorf("%w: [%d,+%d) on I/O node %d, attempt %d",
-				ErrTimeout, pc.localOff, pc.n, srv.Node(), attempt))
-		})
+		at.refs = 2
+		fsys.k.AfterCall(pol.Timeout, attemptTimeout, at)
 	}
-	fsys.m.Send(node, srv.Node(), reqBytes, func() {
-		if write {
-			srv.Write(node, meta.localName(), pc.localOff, pc.n, reply)
-		} else {
-			srv.Read(node, meta.localName(), pc.localOff, pc.n, fsys.cfg.FastPath, reply)
-		}
-	})
+	fsys.m.SendCall(at.node, srv.Node(), reqBytes, attemptDeliver, at)
 }
 
-// deferToRestart parks a piece aimed at a node known to be down. If the
+// attemptDeliver runs on the I/O node when the request message arrives.
+// Reads ride the fully pooled server path; writes keep the legacy server
+// entry point (the paper evaluates reads — writes are cold).
+func attemptDeliver(v any) {
+	at := v.(*pieceAttempt)
+	fsys := at.fsys
+	srv := fsys.servers[at.meta.group[at.pc.server]]
+	if at.write {
+		srv.Write(at.node, at.meta.localName(), at.pc.localOff, at.pc.n, func(err error) {
+			pieceReply(at, err)
+		})
+		return
+	}
+	srv.ReadCall(at.node, at.meta.handles[at.pc.server], at.pc.localOff, at.pc.n,
+		fsys.cfg.FastPath, pieceReply, at)
+}
+
+// pieceReply runs on the requesting node when the attempt's reply lands.
+func pieceReply(v any, err error) {
+	at := v.(*pieceAttempt)
+	fsys := at.fsys
+	if at.settled {
+		// The deadline fired first and the piece was re-issued; this
+		// attempt's outcome is stale. Data that did arrive was paid for
+		// at the server and on the mesh but is discarded here.
+		fsys.LateReplies++
+		if err == nil && !at.write {
+			fsys.LateBytes += at.pc.n
+		}
+		fsys.releaseAttempt(at)
+		return
+	}
+	at.settled = true
+	srv := fsys.servers[at.meta.group[at.pc.server]]
+	fsys.emit(trace.StripeReply, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
+	fsys.settleAttempt(at, err)
+	fsys.releaseAttempt(at)
+}
+
+// attemptTimeout runs when the attempt's reply deadline passes. The
+// event is armed unconditionally at issue (like the legacy timer), so a
+// settled attempt just drops its timeout reference.
+func attemptTimeout(v any) {
+	at := v.(*pieceAttempt)
+	fsys := at.fsys
+	if at.settled {
+		fsys.releaseAttempt(at)
+		return // reply won the race; the deadline is a no-op
+	}
+	at.settled = true
+	srv := fsys.servers[at.meta.group[at.pc.server]]
+	pol := fsys.cfg.Retry
+	fsys.Timeouts++
+	fsys.emit(trace.TimeoutFired, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
+	if pol.DownPoll > 0 && srv.Down() {
+		// The deadline was the discovery that the node died, not
+		// evidence against a live one: the attempt does not burn retry
+		// budget, the piece re-arms on the restart.
+		fsys.deferAttempt(fsys.cloneAttempt(at, at.attempt))
+		fsys.releaseAttempt(at)
+		return
+	}
+	fsys.settleAttempt(at, fmt.Errorf("%w: [%d,+%d) on I/O node %d, attempt %d",
+		ErrTimeout, at.pc.localOff, at.pc.n, srv.Node(), at.attempt))
+	fsys.releaseAttempt(at)
+}
+
+// settleAttempt decides a settled attempt's failure: re-issue the piece
+// after the backoff delay, or give up and surface the error.
+func (fsys *FileSystem) settleAttempt(at *pieceAttempt, err error) {
+	pol := fsys.cfg.Retry
+	srv := fsys.servers[at.meta.group[at.pc.server]]
+	if err != nil && !errors.Is(err, ErrUnavailable) && at.attempt < pol.MaxRetries {
+		fsys.Retries++
+		fsys.emit(trace.RetryIssue, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
+		next := fsys.cloneAttempt(at, at.attempt+1)
+		fsys.k.AfterCall(pol.delay(at.node, at.pc.localOff, at.attempt), resendAttempt, next)
+		return
+	}
+	if err != nil && pol.Enabled() {
+		fsys.GiveUps++
+		fsys.emit(trace.RetryGiveUp, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
+	}
+	at.finish(err)
+}
+
+// resendAttempt re-enters sendAttempt from a backoff or restart delay.
+func resendAttempt(v any) {
+	at := v.(*pieceAttempt)
+	at.fsys.sendAttempt(at)
+}
+
+// deferAttempt parks a piece aimed at a node known to be down. If the
 // node's advertised restart leaves no room before the piece's deadline
 // the piece fails now with ErrUnavailable — deterministically, without
 // waiting out the crash. Otherwise the piece re-arms at the restart time
 // (but no sooner than DownPoll from now) with its attempt budget intact.
-func (fsys *FileSystem) deferToRestart(node int, meta *fileMeta, pc piece, write bool, attempt int, first sim.Time, finish func(err error, retried bool)) {
-	srv := fsys.servers[meta.group[pc.server]]
+// The attempt passed in carries no references.
+func (fsys *FileSystem) deferAttempt(at *pieceAttempt) {
+	srv := fsys.servers[at.meta.group[at.pc.server]]
 	pol := fsys.cfg.Retry
 	now := fsys.k.Now()
 	restart := srv.DownUntil()
 	if pol.DownDeadline > 0 {
-		deadline := first + pol.DownDeadline
+		deadline := at.first + pol.DownDeadline
 		if now >= deadline || restart > deadline {
 			fsys.Unavailable++
-			finish(fmt.Errorf("%w: [%d,+%d) on I/O node %d (restart %v, deadline %v)",
-				ErrUnavailable, pc.localOff, pc.n, srv.Node(), restart, deadline), attempt > 0)
+			at.finish(fmt.Errorf("%w: [%d,+%d) on I/O node %d (restart %v, deadline %v)",
+				ErrUnavailable, at.pc.localOff, at.pc.n, srv.Node(), restart, deadline))
+			fsys.putAttempt(at)
 			return
 		}
 	}
@@ -201,7 +307,5 @@ func (fsys *FileSystem) deferToRestart(node int, meta *fileMeta, pc piece, write
 	if restart > now && restart-now > wait {
 		wait = restart - now
 	}
-	fsys.k.After(wait, func() {
-		fsys.sendPiece(node, meta, pc, write, attempt, first, finish)
-	})
+	fsys.k.AfterCall(wait, resendAttempt, at)
 }

@@ -61,9 +61,26 @@ func DefaultConfig() Config {
 }
 
 // entry is one prefetch buffer structure on a file's prefetch list.
+// Entries are pooled: a consumed or retired entry returns to the free
+// list with its Async request attached, so the steady prefetch stream
+// reuses one entry + request + signal per buffer slot instead of
+// allocating three objects per issue.
 type entry struct {
 	off, n int64
 	req    *pfs.Async
+	pf     *Prefetcher
+	f      *pfs.File
+}
+
+// entryFillDone runs at the firing instant of an entry's prefetch
+// request: a failure reclaims the buffer slot (see retire). The success
+// path is a no-op — and must stay one, because a consumed entry may
+// already be back in the pool when a successful fill's callback runs.
+func entryFillDone(v any, err error) {
+	e := v.(*entry)
+	if err != nil {
+		e.pf.retire(e.f, e)
+	}
 }
 
 // Prefetcher implements pfs.PrefetchService. One Prefetcher can serve many
@@ -74,6 +91,7 @@ type Prefetcher struct {
 	cfg   Config
 	lists map[*pfs.File][]*entry
 	adapt map[*pfs.File]*adaptState
+	free  []*entry // entry pool; each keeps its Async for reuse
 
 	// Measurements.
 	Issued      int64           // prefetch requests queued on the ART
@@ -193,6 +211,10 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 				p.Sleep(sim.Time(float64(n) / pf.cfg.MemBandwidth * float64(sim.Second)))
 			}
 		}
+		// The entry is consumed: off the list, outcome read. A failed
+		// fill's retirement callback has necessarily run by now (it was
+		// scheduled at the firing instant), so recycling cannot race it.
+		pf.putEntry(e)
 	} else {
 		pf.Misses++
 		pf.emit(p, trace.PrefetchMiss, f, off, n)
@@ -252,6 +274,24 @@ func (pf *Prefetcher) OnClose(f *pfs.File) {
 	pf.cfg.Predictor.Forget(f)
 }
 
+func (pf *Prefetcher) getEntry() *entry {
+	if n := len(pf.free); n > 0 {
+		e := pf.free[n-1]
+		pf.free[n-1] = nil
+		pf.free = pf.free[:n-1]
+		return e
+	}
+	return &entry{pf: pf}
+}
+
+// putEntry recycles a consumed or retired entry. Safe only once the
+// entry is off its file's list and its request's outcome has been fully
+// read; the request (and its signal) stay attached for IReadAtReusing.
+func (pf *Prefetcher) putEntry(e *entry) {
+	e.f = nil
+	pf.free = append(pf.free, e)
+}
+
 // lookup finds a buffer whose region covers [off, off+n) starting exactly
 // at off, the match rule of the prototype (buffers are tagged with the
 // PFS file offset and size).
@@ -286,6 +326,9 @@ func (pf *Prefetcher) removeEntry(f *pfs.File, e *entry) bool {
 func (pf *Prefetcher) retire(f *pfs.File, e *entry) {
 	if pf.removeEntry(f, e) {
 		pf.Retired++
+		// Removal succeeded, so no reader holds this entry (a reader
+		// removes it before doing anything that yields): recycle now.
+		pf.putEntry(e)
 	}
 }
 
@@ -309,14 +352,11 @@ func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
 		// The user thread pays the setup cost of posting the
 		// asynchronous request.
 		p.Sleep(pf.cfg.IssueOverhead)
-		req := f.IReadAt(span.Off, span.N)
-		e := &entry{off: span.Off, n: span.N, req: req}
+		e := pf.getEntry()
+		e.off, e.n, e.f = span.Off, span.N, f
+		e.req = f.IReadAtReusing(e.req, span.Off, span.N)
 		pf.lists[f] = append(pf.lists[f], e)
-		req.Done.OnFire(func(err error) {
-			if err != nil {
-				pf.retire(f, e)
-			}
-		})
+		e.req.Done.OnFireCall(entryFillDone, e)
 		pf.Issued++
 		pf.emit(p, trace.PrefetchIssue, f, span.Off, span.N)
 	}

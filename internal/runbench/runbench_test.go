@@ -1,0 +1,61 @@
+package runbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/scenarios"
+)
+
+// TestMeasureDoesNotPerturb proves the benchmark harness observes the
+// simulation without changing it: for every golden scenario, the result
+// fingerprint and trace digest of a plain Run equal the ones Measure
+// reports from its instrumented run. Wall clocks and MemStats deltas are
+// the only instrumentation, and nothing in the simulator can see either.
+func TestMeasureDoesNotPerturb(t *testing.T) {
+	for _, sc := range scenarios.Golden() {
+		res, tl, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: plain run: %v", sc.Name, err)
+		}
+		plainFP := res.Fingerprint()
+		plainTD := tl.Digest()
+
+		m, err := Measure(sc, Options{Iterations: 1, MinWall: time.Millisecond})
+		if err != nil {
+			t.Fatalf("%s: measured run: %v", sc.Name, err)
+		}
+		if got, want := m.Fingerprint, hex16(plainFP); got != want {
+			t.Errorf("%s: measured fingerprint %s != plain %s", sc.Name, got, want)
+		}
+		if got, want := m.TraceDigest, hex16(plainTD); got != want {
+			t.Errorf("%s: measured trace digest %s != plain %s", sc.Name, got, want)
+		}
+	}
+}
+
+// TestRunRepeatable pins that back-to-back plain runs are bit-identical —
+// the property Measure's amortized timing passes rely on.
+func TestRunRepeatable(t *testing.T) {
+	sc, ok := scenarios.ByName("quickstart")
+	if !ok {
+		t.Fatal("quickstart scenario missing")
+	}
+	r1, t1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, t2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Error("back-to-back runs produced different fingerprints")
+	}
+	if t1.Digest() != t2.Digest() {
+		t.Error("back-to-back runs produced different trace digests")
+	}
+}
+
+func hex16(v uint64) string { return fmt.Sprintf("%016x", v) }

@@ -9,10 +9,20 @@ import (
 // list: every simulated event crosses Schedule (At/After) and the run
 // loop, so reusing the structs removes one heap allocation per event —
 // the dominant allocation of a simulation.
+//
+// An event carries either a plain closure (fn) or a pooled-args callback
+// (cfn/ecfn with arg, and err for ecfn). The callback forms exist so hot
+// paths can schedule without constructing a closure: a func(any) is a
+// shared top-level function and arg is a pointer to pooled state, so the
+// whole At/dispatch round trip allocates nothing.
 type event struct {
-	t   Time
-	seq uint64 // tie-breaker: FIFO among events at the same instant
-	fn  func()
+	t    Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	cfn  func(any)
+	ecfn func(any, error)
+	arg  any
+	err  error
 }
 
 // eventHeap is a min-heap ordered by (t, seq), with the sift operations
@@ -129,9 +139,11 @@ func (k *Kernel) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) panics: it would silently reorder causality.
-func (k *Kernel) At(t Time, fn func()) {
+// schedule books a pooled event at absolute time t and returns it for
+// the caller to attach a callback. Scheduling in the past (t < Now)
+// panics: it would silently reorder causality. The heap orders events by
+// (t, seq) only, so pushing before the callback fields are set is safe.
+func (k *Kernel) schedule(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
@@ -144,8 +156,14 @@ func (k *Kernel) At(t Time, fn func()) {
 	} else {
 		e = &event{}
 	}
-	e.t, e.seq, e.fn = t, k.seq, fn
+	e.t, e.seq = t, k.seq
 	k.events.push(e)
+	return e
+}
+
+// At schedules fn to run at absolute time t.
+func (k *Kernel) At(t Time, fn func()) {
+	k.schedule(t).fn = fn
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -154,6 +172,35 @@ func (k *Kernel) After(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	k.At(k.now+d, fn)
+}
+
+// AtCall schedules fn(arg) to run at absolute time t. It is At without
+// the closure: fn is typically a shared top-level function and arg a
+// pointer to pooled state, so the call allocates nothing. Scheduling
+// order, timing, and fingerprint accounting are identical to At.
+func (k *Kernel) AtCall(t Time, fn func(any), arg any) {
+	e := k.schedule(t)
+	e.cfn, e.arg = fn, arg
+}
+
+// AfterCall is AtCall relative to the current time. Negative d panics.
+func (k *Kernel) AfterCall(d Time, fn func(any), arg any) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.AtCall(k.now+d, fn, arg)
+}
+
+// AfterCallErr schedules fn(arg, err) d after the current time, carrying
+// an error value in the event itself. It exists for completion paths
+// (signal callbacks, device done notifications) that deliver an error to
+// pooled state without closing over it. Negative d panics.
+func (k *Kernel) AfterCallErr(d Time, fn func(any, error), arg any, err error) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e := k.schedule(k.now + d)
+	e.ecfn, e.arg, e.err = fn, arg, err
 }
 
 // Run executes events until none remain, then returns the first process
@@ -177,13 +224,20 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		k.events.pop()
 		k.now = e.t
 		k.executed++
-		fn := e.fn
+		fn, cfn, ecfn, arg, err := e.fn, e.cfn, e.ecfn, e.arg, e.err
 		// Recycle before dispatch: the callback's own Schedule calls can
-		// reuse the struct immediately. Clearing fn drops the closure
-		// reference so pooled events do not pin dead captures.
-		e.fn = nil
+		// reuse the struct immediately. Clearing the callback fields drops
+		// closure and arg references so pooled events do not pin dead state.
+		e.fn, e.cfn, e.ecfn, e.arg, e.err = nil, nil, nil, nil, nil
 		k.free = append(k.free, e)
-		fn()
+		switch {
+		case fn != nil:
+			fn()
+		case ecfn != nil:
+			ecfn(arg, err)
+		default:
+			cfn(arg)
+		}
 		if k.failed != nil {
 			return k.failed
 		}

@@ -81,13 +81,20 @@ func (k *Kernel) wake(p *Proc) {
 	<-k.yield
 }
 
+// wakeProc is the shared pooled-args callback that resumes a blocked
+// process; scheduling it with AfterCall(d, wakeProc, p) is the
+// allocation-free form of After(d, func() { k.wake(p) }).
+func wakeProc(a any) {
+	p := a.(*Proc)
+	p.k.wake(p)
+}
+
 // Sleep suspends the process for d of simulated time.
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: process %q sleeping negative duration %v", p.name, d))
 	}
-	k := p.k
-	k.After(d, func() { k.wake(p) })
+	p.k.AfterCall(d, wakeProc, p)
 	p.block()
 }
 

@@ -1,5 +1,18 @@
 package sim
 
+// sigCallback is one registered completion callback. The legacy OnFire
+// form is stored through the same pooled-args shape as OnFireCall —
+// callFireFn unwraps the func(error) from arg — so Fire schedules every
+// callback without constructing a closure.
+type sigCallback struct {
+	cfn func(any, error)
+	arg any
+}
+
+// callFireFn adapts a legacy OnFire func(error) (carried as arg) to the
+// pooled-args callback shape.
+func callFireFn(a any, err error) { a.(func(error))(err) }
+
 // Signal is a one-shot completion event. Processes wait on it; once fired
 // (at most once), all current and future waiters proceed immediately.
 // A Signal carries an optional error so that asynchronous operations can
@@ -10,11 +23,26 @@ type Signal struct {
 	firedAt   Time
 	err       error
 	waiters   []*Proc
-	callbacks []func(error)
+	callbacks []sigCallback
 }
 
 // NewSignal returns an unfired signal on kernel k.
 func NewSignal(k *Kernel) *Signal { return &Signal{k: k} }
+
+// Reset returns the signal to the unfired state, keeping the waiter and
+// callback storage for reuse. It exists so pooled operation structs can
+// embed a Signal by value and recycle it across operations; resetting a
+// signal that still has waiters or callbacks panics, because they would
+// be silently dropped.
+func (s *Signal) Reset(k *Kernel) {
+	if len(s.waiters) != 0 || len(s.callbacks) != 0 {
+		panic("sim: Reset on a Signal with pending waiters or callbacks")
+	}
+	s.k = k
+	s.fired = false
+	s.firedAt = 0
+	s.err = nil
+}
 
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
@@ -34,27 +62,37 @@ func (s *Signal) Fire(err error) {
 	s.fired = true
 	s.firedAt = s.k.now
 	s.err = err
-	for _, p := range s.waiters {
-		p := p
-		s.k.After(0, func() { s.k.wake(p) })
+	for i, p := range s.waiters {
+		s.k.AfterCall(0, wakeProc, p)
+		s.waiters[i] = nil
 	}
-	s.waiters = nil
-	for _, fn := range s.callbacks {
-		fn := fn
-		s.k.After(0, func() { fn(err) })
+	s.waiters = s.waiters[:0]
+	for i, cb := range s.callbacks {
+		s.k.AfterCallErr(0, cb.cfn, cb.arg, err)
+		s.callbacks[i] = sigCallback{}
 	}
-	s.callbacks = nil
+	s.callbacks = s.callbacks[:0]
 }
 
 // OnFire registers fn to run (in event context, at the firing instant)
 // when the signal fires; if it already fired, fn is scheduled immediately.
 func (s *Signal) OnFire(fn func(error)) {
 	if s.fired {
-		err := s.err
-		s.k.After(0, func() { fn(err) })
+		s.k.AfterCallErr(0, callFireFn, fn, s.err)
 		return
 	}
-	s.callbacks = append(s.callbacks, fn)
+	s.callbacks = append(s.callbacks, sigCallback{cfn: callFireFn, arg: fn})
+}
+
+// OnFireCall is OnFire without the closure: fn(arg, err) runs at the
+// firing instant. Like the kernel's AfterCallErr it exists for hot paths
+// that keep their state in pooled structs.
+func (s *Signal) OnFireCall(fn func(any, error), arg any) {
+	if s.fired {
+		s.k.AfterCallErr(0, fn, arg, s.err)
+		return
+	}
+	s.callbacks = append(s.callbacks, sigCallback{cfn: fn, arg: arg})
 }
 
 // Wait blocks p until the signal fires (returning immediately if it
@@ -69,51 +107,68 @@ func (s *Signal) Wait(p *Proc) error {
 
 // Queue is an unbounded FIFO channel between processes. Put never blocks;
 // Get blocks until an item is available. Items are delivered in insertion
-// order and waiters are served in arrival order.
+// order and waiters are served in arrival order. Both item and waiter
+// storage are head-indexed rings over a reused backing slice, so a
+// steady-state producer/consumer pair allocates nothing.
 type Queue[T any] struct {
 	k       *Kernel
 	items   []T
+	head    int
 	waiters []*Proc
+	whead   int
 }
 
 // NewQueue returns an empty queue on kernel k.
 func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Put appends v and wakes the longest-waiting getter, if any. It may be
 // called from process or event context.
 func (q *Queue[T]) Put(v T) {
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
-		p := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.k.After(0, func() { q.k.wake(p) })
+	if q.whead < len(q.waiters) {
+		p := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
+		if q.whead == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.whead = 0
+		}
+		q.k.AfterCall(0, wakeProc, p)
 	}
+}
+
+func (q *Queue[T]) pop() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
 }
 
 // Get removes and returns the head item, blocking while the queue is
 // empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.head == len(q.items) {
 		q.waiters = append(q.waiters, p)
 		p.block()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.pop()
 }
 
 // TryGet removes and returns the head item without blocking. ok is false
 // if the queue is empty.
 func (q *Queue[T]) TryGet() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.pop(), true
 }
 
 // semWaiter is a pending Acquire.
@@ -129,6 +184,7 @@ type Semaphore struct {
 	k       *Kernel
 	avail   int64
 	waiters []*semWaiter
+	whead   int
 }
 
 // NewSemaphore returns a semaphore holding n units.
@@ -147,7 +203,7 @@ func (s *Semaphore) Acquire(p *Proc, n int64) {
 	if n < 0 {
 		panic("sim: negative semaphore acquire")
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.whead == len(s.waiters) && s.avail >= n {
 		s.avail -= n
 		return
 	}
@@ -165,12 +221,17 @@ func (s *Semaphore) Release(n int64) {
 		panic("sim: negative semaphore release")
 	}
 	s.avail += n
-	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	for s.whead < len(s.waiters) && s.avail >= s.waiters[s.whead].n {
+		w := s.waiters[s.whead]
+		s.waiters[s.whead] = nil
+		s.whead++
+		if s.whead == len(s.waiters) {
+			s.waiters = s.waiters[:0]
+			s.whead = 0
+		}
 		s.avail -= w.n
 		w.granted = true
-		s.k.After(0, func() { s.k.wake(w.p) })
+		s.k.AfterCall(0, wakeProc, w.p)
 	}
 }
 
@@ -209,11 +270,11 @@ func (b *Barrier) Wait(p *Proc) {
 	b.arrived++
 	if b.arrived == b.n {
 		b.arrived = 0
-		for _, w := range b.waiters {
-			w := w
-			b.k.After(0, func() { b.k.wake(w) })
+		for i, w := range b.waiters {
+			b.k.AfterCall(0, wakeProc, w)
+			b.waiters[i] = nil
 		}
-		b.waiters = nil
+		b.waiters = b.waiters[:0]
 		return
 	}
 	b.waiters = append(b.waiters, p)

@@ -25,6 +25,27 @@ func BenchmarkHistogramQuantile(b *testing.B) {
 	}
 }
 
+// BenchmarkHistogramQuantileClean proves quantile queries on a clean
+// (already-sorted) histogram are O(1): the dirty flag means the sort runs
+// at most once per batch of observations, so repeated summary queries —
+// Min, Max, and every quantile of a report table — cost an index lookup,
+// not a re-sort of 100k samples.
+func BenchmarkHistogramQuantileClean(b *testing.B) {
+	var h Histogram
+	h.Reserve(100000)
+	for i := 0; i < 100000; i++ {
+		h.Observe(float64((i * 2654435761) % 99991))
+	}
+	_ = h.Quantile(0.5) // sort once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(float64(i%100) / 100)
+		_ = h.Min()
+		_ = h.Max()
+	}
+}
+
 // BenchmarkTableRender measures formatting a paper-sized table.
 func BenchmarkTableRender(b *testing.B) {
 	t := NewTable("bench", "a", "b", "c", "d")

@@ -188,3 +188,72 @@ func benchSweep(b *testing.B, workers int) {
 
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, runtime.NumCPU()) }
+
+// Regression: the pool must never be wider than the job count. A sweep of
+// 3 cells at workers=64 used to spawn 64 goroutines, 61 of which spun the
+// shared counter for nothing; clampWorkers caps the pool at n.
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 10, runtime.NumCPU()},  // "use every CPU"
+		{-3, 10, runtime.NumCPU()}, // negative means the same
+		{4, 10, 4},
+		{10, 10, 10},
+		{64, 3, 3}, // the regression: capped at the job count
+		{64, 1, 1},
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		if c.want > c.n {
+			c.want = c.n // NumCPU may exceed small n
+		}
+		if got := clampWorkers(c.workers, c.n); got != c.want {
+			t.Errorf("clampWorkers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// Regression: with workers far above the job count, observed concurrency
+// (a proxy for goroutines actually running jobs) must not exceed the job
+// count, and every job must still run exactly once.
+func TestMapWorkerCapConcurrency(t *testing.T) {
+	const n = 3
+	var inFlight, peak, ran atomic.Int64
+	Map(64, n, func(i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		ran.Add(1)
+		inFlight.Add(-1)
+		return i
+	})
+	if ran.Load() != n {
+		t.Fatalf("ran %d jobs, want %d", ran.Load(), n)
+	}
+	if peak.Load() > n {
+		t.Fatalf("observed concurrency %d exceeds job count %d", peak.Load(), n)
+	}
+}
+
+// MapErr with one job must degenerate to a plain call on the caller's
+// goroutine — no pool at all.
+func TestMapErrSingleJobSerial(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	out, err := MapErr(32, 1, func(i int) (int, error) {
+		if g := runtime.NumGoroutine(); g > baseline {
+			return 0, fmt.Errorf("single job spawned goroutines: %d > %d", g, baseline)
+		}
+		return 41 + i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 41 {
+		t.Fatalf("out = %v, want [41]", out)
+	}
+}

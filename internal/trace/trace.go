@@ -100,7 +100,21 @@ func NewLog(capacity int) *Log {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	return &Log{cap: capacity}
+	// Preallocate the ring up front (bounded: huge caps start at 1024 and
+	// grow amortized) so steady-state Add is a plain append with no
+	// per-event garbage.
+	pre := capacity
+	if pre > 1024 {
+		pre = 1024
+	}
+	return &Log{events: make([]Event, 0, pre), cap: capacity}
+}
+
+// Reset forgets all events but keeps the storage, so one Log can be
+// reused across runs without reallocating the ring.
+func (l *Log) Reset() {
+	l.events = l.events[:0]
+	l.dropped = 0
 }
 
 // Add appends an event (dropping it if the log is full).

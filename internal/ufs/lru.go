@@ -7,19 +7,19 @@ import "container/list"
 // affects timing.
 type lru struct {
 	cap   int
-	order *list.List               // front = most recent
-	items map[string]*list.Element // key -> element whose Value is the key
+	order *list.List                 // front = most recent
+	items map[blockKey]*list.Element // key -> element whose Value is the key
 }
 
 func newLRU(capacity int) *lru {
 	if capacity <= 0 {
 		panic("ufs: lru capacity must be positive")
 	}
-	return &lru{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+	return &lru{cap: capacity, order: list.New(), items: make(map[blockKey]*list.Element)}
 }
 
 // get reports whether key is resident and, if so, marks it most recent.
-func (c *lru) get(key string) bool {
+func (c *lru) get(key blockKey) bool {
 	e, ok := c.items[key]
 	if !ok {
 		return false
@@ -30,7 +30,7 @@ func (c *lru) get(key string) bool {
 
 // put inserts key as most recent, evicting the least recent entry if the
 // cache is full. Re-putting an existing key just refreshes it.
-func (c *lru) put(key string) {
+func (c *lru) put(key blockKey) {
 	if e, ok := c.items[key]; ok {
 		c.order.MoveToFront(e)
 		return
@@ -38,13 +38,13 @@ func (c *lru) put(key string) {
 	if c.order.Len() >= c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(string))
+		delete(c.items, oldest.Value.(blockKey))
 	}
 	c.items[key] = c.order.PushFront(key)
 }
 
 // remove evicts key if resident.
-func (c *lru) remove(key string) {
+func (c *lru) remove(key blockKey) {
 	if e, ok := c.items[key]; ok {
 		c.order.Remove(e)
 		delete(c.items, key)

@@ -63,20 +63,40 @@ type vnode struct {
 	blocks []int64 // disk block number per file block
 }
 
+// Handle is a resolved reference to a file: the name lookup done once, at
+// open time, so the per-read path touches no map. A handle stays valid
+// until the file is removed; using one after Remove reads stale metadata,
+// exactly like holding a vnode reference across an unlink.
+type Handle struct {
+	v *vnode
+}
+
+// Valid reports whether the handle references a file.
+func (h Handle) Valid() bool { return h.v != nil }
+
+// Size reports the referenced file's length.
+func (h Handle) Size() int64 {
+	if h.v == nil {
+		return 0
+	}
+	return h.v.size
+}
+
 // FS is one I/O node's file system instance.
 type FS struct {
 	k     *sim.Kernel
 	array *disk.Array
 	cfg   Config
-	rng   *rand.Rand
+	rng   *rand.Rand // lazily seeded: fragmentation-free volumes never draw
 
 	files    map[string]*vnode
 	nextBlk  int64   // allocation cursor, in disk blocks
 	totalBlk int64   // capacity in blocks
 	freeBlks []int64 // blocks returned by Remove, reused first
 	cache    *lru
-	fills    map[string]*sim.Signal // cache blocks with a disk fill in flight
-	cpuFree  sim.Time               // I/O-node CPU clock for copy/staging costs
+	fills    map[blockKey]*sim.Signal // cache blocks with a disk fill in flight
+	cpuFree  sim.Time                 // I/O-node CPU clock for copy/staging costs
+	opFree   []*readOp                // readOp free list
 
 	// Measurements.
 	Reads       int64
@@ -100,9 +120,8 @@ func New(k *sim.Kernel, array *disk.Array, cfg Config) *FS {
 		k:        k,
 		array:    array,
 		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		files:    make(map[string]*vnode),
-		fills:    make(map[string]*sim.Signal),
+		fills:    make(map[blockKey]*sim.Signal),
 		totalBlk: array.Capacity() / cfg.BlockSize,
 	}
 	if cfg.CacheBlocks > 0 {
@@ -117,6 +136,16 @@ func (fs *FS) BlockSize() int64 { return fs.cfg.BlockSize }
 // Array exposes the disk array beneath the file system (for stats
 // reporting and fault injection in tests).
 func (fs *FS) Array() *disk.Array { return fs.array }
+
+// rand returns the allocator RNG, seeding it on first use. Deferring the
+// seeding keeps FS construction cheap for the common Fragmentation == 0
+// configuration, which never draws.
+func (fs *FS) rand() *rand.Rand {
+	if fs.rng == nil {
+		fs.rng = rand.New(rand.NewSource(fs.cfg.Seed))
+	}
+	return fs.rng
+}
 
 // Create allocates a file of size bytes. Allocation walks a cursor across
 // the volume, breaking contiguity with probability Fragmentation per
@@ -142,15 +171,25 @@ func (fs *FS) Create(name string, size int64) error {
 			fs.freeBlks = fs.freeBlks[:len(fs.freeBlks)-1]
 			continue
 		}
-		if i > 0 && fs.rng.Float64() < fs.cfg.Fragmentation {
+		if i > 0 && fs.cfg.Fragmentation > 0 && fs.rand().Float64() < fs.cfg.Fragmentation {
 			// Skip ahead a few blocks: a hole left by another file.
-			fs.nextBlk += 1 + int64(fs.rng.Intn(8))
+			fs.nextBlk += 1 + int64(fs.rand().Intn(8))
 		}
 		v.blocks[i] = fs.nextBlk
 		fs.nextBlk++
 	}
 	fs.files[name] = v
 	return nil
+}
+
+// Lookup resolves name to a Handle, the once-per-open half of the read
+// path. The handle is valid until the file is removed.
+func (fs *FS) Lookup(name string) (Handle, error) {
+	v, ok := fs.files[name]
+	if !ok {
+		return Handle{}, fmt.Errorf("ufs: %s does not exist", name)
+	}
+	return Handle{v: v}, nil
 }
 
 // Remove deletes a file, returning its blocks to the allocator and
@@ -161,7 +200,7 @@ func (fs *FS) Remove(name string) error {
 		return fmt.Errorf("ufs: %s does not exist", name)
 	}
 	for b := range v.blocks {
-		key := cacheKey(name, int64(b))
+		key := blockKey{name, int64(b)}
 		if fs.cache != nil {
 			fs.cache.remove(key)
 		}
@@ -181,19 +220,25 @@ func (fs *FS) Remove(name string) error {
 // cache vanishes and every read waiting on an in-flight cache fill fails
 // with ErrCrashed. Disk contents survive — only volatile state is lost;
 // the file table and allocator are on-disk metadata and persist. Fills
-// are failed in sorted key order so the crash is deterministic.
+// are failed in sorted key order so the crash is deterministic; the sort
+// is over the formatted "name#block" strings, which keeps the firing
+// order identical to what the pre-blockKey implementation produced.
 func (fs *FS) CrashReset() {
 	if fs.cache != nil {
 		fs.cache = newLRU(fs.cfg.CacheBlocks)
 	}
-	keys := make([]string, 0, len(fs.fills))
-	for key := range fs.fills {
-		keys = append(keys, key)
+	type sortedFill struct {
+		s   string
+		key blockKey
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		fill := fs.fills[key]
-		delete(fs.fills, key)
+	keys := make([]sortedFill, 0, len(fs.fills))
+	for key := range fs.fills {
+		keys = append(keys, sortedFill{fmt.Sprintf("%s#%d", key.name, key.block), key})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].s < keys[j].s })
+	for _, sf := range keys {
+		fill := fs.fills[sf.key]
+		delete(fs.fills, sf.key)
 		fill.Fire(ErrCrashed)
 	}
 	fs.cpuFree = fs.k.Now()
@@ -216,18 +261,129 @@ type ReadOptions struct {
 	FastPath bool
 }
 
+// readOp is the pooled bookkeeping of one read: what the legacy
+// implementation captured in closures (staging cost, copy bytes, the
+// countdown over disk runs and pending fills) lives here instead, so the
+// steady-state read path schedules only pooled-args events. Completion is
+// dual-mode: ops from the legacy Read carry sig and fire it directly at
+// the delivery instant (one event, exactly like the old closure chain);
+// ops from ReadCall carry fn/arg and schedule the callback as its own
+// event (also one event — the callback takes the place of the signal's
+// single consumer).
+type readOp struct {
+	fs        *FS
+	v         *vnode
+	staging   sim.Time
+	copyBytes int64
+	remaining int
+	firstErr  error
+
+	sig *sim.Signal      // legacy Read: fired at delivery
+	fn  func(any, error) // ReadCall: scheduled at delivery
+	arg any
+
+	// Scratch storage reused across ops.
+	missBlocks []int64       // disk block numbers to fetch
+	missFiles  []int64       // the file blocks those correspond to
+	missSigs   []*sim.Signal // fill signals created for each, identity-checked at completion
+	pending    []*sim.Signal // fills in flight we must wait for
+	runs       []run
+	runStates  []runState
+}
+
+// runState ties one coalesced disk run back to its readOp and the slice
+// of missFiles/missSigs the run covers. The states live in the op's
+// runStates array, which is sized before any request is issued so the
+// structs never move while a request holds a pointer to one.
+type runState struct {
+	op        *readOp
+	fileStart int
+	fileCount int
+}
+
+func (fs *FS) getReadOp() *readOp {
+	if n := len(fs.opFree); n > 0 {
+		op := fs.opFree[n-1]
+		fs.opFree[n-1] = nil
+		fs.opFree = fs.opFree[:n-1]
+		return op
+	}
+	return &readOp{fs: fs}
+}
+
+func (fs *FS) putReadOp(op *readOp) {
+	op.v = nil
+	op.staging = 0
+	op.copyBytes = 0
+	op.remaining = 0
+	op.firstErr = nil
+	op.sig = nil
+	op.fn = nil
+	op.arg = nil
+	op.missBlocks = op.missBlocks[:0]
+	op.missFiles = op.missFiles[:0]
+	for i := range op.missSigs {
+		op.missSigs[i] = nil
+	}
+	op.missSigs = op.missSigs[:0]
+	for i := range op.pending {
+		op.pending[i] = nil
+	}
+	op.pending = op.pending[:0]
+	op.runs = op.runs[:0]
+	op.runStates = op.runStates[:0]
+	fs.opFree = append(fs.opFree, op)
+}
+
 // Read starts a read of n bytes at offset off from file name and returns
 // a signal fired when the data is available at the I/O node (transfer to
 // the requesting compute node is the caller's business). Reads past EOF
 // are an error, as in the real PFS where file sizes were established at
 // write time.
 func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, error) {
-	v, ok := fs.files[name]
-	if !ok {
-		return nil, fmt.Errorf("ufs: %s does not exist", name)
+	h, err := fs.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
+	op := fs.getReadOp()
+	op.v = h.v
+	op.sig = sim.NewSignal(fs.k)
+	done := op.sig
+	if err := fs.read(op, off, n, opt); err != nil {
+		fs.putReadOp(op)
+		return nil, err
+	}
+	return done, nil
+}
+
+// ReadCall is the callback form of Read on a resolved handle: fn(arg,
+// err) runs (as its own event, at the delivery instant) when the data is
+// available at the I/O node. No signal, closure, or name lookup is
+// constructed on the path. A non-nil return reports a synchronous
+// validation failure; fn does not run.
+func (fs *FS) ReadCall(h Handle, off, n int64, opt ReadOptions, fn func(any, error), arg any) error {
+	if h.v == nil {
+		return errors.New("ufs: read through invalid handle")
+	}
+	op := fs.getReadOp()
+	op.v = h.v
+	op.fn = fn
+	op.arg = arg
+	if err := fs.read(op, off, n, opt); err != nil {
+		fs.putReadOp(op)
+		return err
+	}
+	return nil
+}
+
+// read is the shared body of Read and ReadCall: validate, charge staging,
+// classify blocks against the cache, and issue the coalesced disk runs.
+// On error the caller recycles op; otherwise the op is consumed by its
+// completion events.
+func (fs *FS) read(op *readOp, off, n int64, opt ReadOptions) error {
+	v := op.v
 	if off < 0 || n <= 0 || off+n > v.size {
-		return nil, fmt.Errorf("ufs: read [%d,+%d) outside %s (%d bytes)", off, n, name, v.size)
+		return fmt.Errorf("ufs: read [%d,+%d) outside %s (%d bytes)", off, n, v.name, v.size)
 	}
 	fs.Reads++
 	fs.BytesRead += n
@@ -245,21 +401,18 @@ func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, err
 	if (off+n)%bs != 0 && last != first || (off+n)%bs != 0 && off%bs == 0 {
 		staging += fs.cfg.PartialStage
 	}
+	op.staging = staging
 
 	// Classify blocks. A cached block needs no disk I/O; a block whose
 	// fill is already in flight (another reader, or a prefetch hint) is
 	// waited on rather than read twice; the rest miss and are read from
 	// the array, coalesced into contiguous runs. Blocks become resident
 	// only when their fill completes — never at issue time.
-	var missBlocks []int64     // disk block numbers to fetch
-	var missFiles []int64      // the file blocks those correspond to
-	var missSigs []*sim.Signal // the fill signal we created for each, identity-checked at completion
-	var pending []*sim.Signal  // fills in flight we must wait for
-	copyBytes := int64(0)      // bytes staged through the cache
+	copyBytes := int64(0) // bytes staged through the cache
 	for b := first; b <= last; b++ {
 		dblk := v.blocks[b]
 		if !opt.FastPath && fs.cache != nil {
-			key := cacheKey(name, b)
+			key := blockKey{v.name, b}
 			if fs.cache.get(key) {
 				fs.CacheHits++
 				copyBytes += bs
@@ -268,88 +421,126 @@ func (fs *FS) Read(name string, off, n int64, opt ReadOptions) (*sim.Signal, err
 			if sig, ok := fs.fills[key]; ok {
 				fs.FillWaits++
 				copyBytes += bs
-				pending = append(pending, sig)
+				op.pending = append(op.pending, sig)
 				continue
 			}
 			fs.CacheMisses++
 			sig := sim.NewSignal(fs.k)
 			fs.fills[key] = sig
 			copyBytes += bs
-			missFiles = append(missFiles, b)
-			missSigs = append(missSigs, sig)
+			op.missFiles = append(op.missFiles, b)
+			op.missSigs = append(op.missSigs, sig)
 		}
-		missBlocks = append(missBlocks, dblk)
+		op.missBlocks = append(op.missBlocks, dblk)
 	}
+	op.copyBytes = copyBytes
 
-	done := sim.NewSignal(fs.k)
-	finish := func(err error) {
-		// Staging/copy costs serialize on the I/O node CPU.
-		var cpu sim.Time = staging
-		if copyBytes > 0 {
-			cpu += sim.Time(float64(copyBytes) / fs.cfg.MemBandwidth * float64(sim.Second))
-		}
-		start := fs.k.Now()
-		if fs.cpuFree > start {
-			start = fs.cpuFree
-		}
-		fs.cpuFree = start + cpu
-		fs.k.At(fs.cpuFree, func() { done.Fire(err) })
-	}
-
-	if len(missBlocks) == 0 && len(pending) == 0 {
+	if len(op.missBlocks) == 0 && len(op.pending) == 0 {
 		// Fully cached.
-		fs.k.After(0, func() { finish(nil) })
-		return done, nil
+		fs.k.AfterCallErr(0, readOpFinish, op, nil)
+		return nil
 	}
 
-	runs := coalesce(missBlocks)
-	fs.DiskOps += int64(len(runs))
-	remaining := len(runs) + len(pending)
-	var firstErr error
-	oneDone := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		remaining--
-		if remaining == 0 {
-			finish(firstErr)
-		}
-	}
-	for _, sig := range pending {
-		sig.OnFire(oneDone)
+	op.runs = coalesceInto(op.runs[:0], op.missBlocks)
+	fs.DiskOps += int64(len(op.runs))
+	op.remaining = len(op.runs) + len(op.pending)
+	for _, sig := range op.pending {
+		sig.OnFireCall(readOpOneDone, op)
 	}
 	// missFiles parallels missBlocks, and coalesce preserves order, so
-	// each run covers the next run.count entries of missFiles.
+	// each run covers the next run.count entries of missFiles. Size the
+	// runState array up front: append growth after the first request is
+	// issued would move states out from under the request's pointer.
+	if cap(op.runStates) < len(op.runs) {
+		op.runStates = make([]runState, len(op.runs))
+	}
+	op.runStates = op.runStates[:len(op.runs)]
 	fileIdx := 0
-	for _, r := range runs {
-		var filled []int64
-		var filledSigs []*sim.Signal
-		if len(missFiles) > 0 {
-			filled = missFiles[fileIdx : fileIdx+int(r.count)]
-			filledSigs = missSigs[fileIdx : fileIdx+int(r.count)]
+	for i, r := range op.runs {
+		rs := &op.runStates[i]
+		rs.op = op
+		rs.fileStart, rs.fileCount = fileIdx, 0
+		if len(op.missFiles) > 0 {
+			rs.fileCount = int(r.count)
 			fileIdx += int(r.count)
 		}
-		sig := fs.array.Read(r.start*bs, r.count*bs)
-		sig.OnFire(func(err error) {
-			// The blocks are resident (or abandoned, on error) only now.
-			// The fill must still be the one this read created: a crash
-			// (CrashReset) fails and removes fills, and a read issued
-			// after the restart may have registered a fresh fill under
-			// the same key — a stale disk completion must not touch it.
-			for i, b := range filled {
-				key := cacheKey(name, b)
-				if fill, ok := fs.fills[key]; ok && fill == filledSigs[i] {
-					if err == nil {
-						fs.cache.put(key)
-					}
-					delete(fs.fills, key)
-					fill.Fire(err)
-				}
-			}
-			oneDone(err)
-		})
+		fs.array.ReadCall(r.start*bs, r.count*bs, readOpRunDone, rs)
 	}
-	return done, nil
+	return nil
+}
+
+// readOpRunDone completes one coalesced disk run: the blocks it covered
+// become resident (or their fills abandoned, on error) only now.
+func readOpRunDone(v any, err error) {
+	rs := v.(*runState)
+	op := rs.op
+	fs := op.fs
+	for i := 0; i < rs.fileCount; i++ {
+		b := op.missFiles[rs.fileStart+i]
+		key := blockKey{op.v.name, b}
+		// The fill must still be the one this read created: a crash
+		// (CrashReset) fails and removes fills, and a read issued after
+		// the restart may have registered a fresh fill under the same
+		// key — a stale disk completion must not touch it.
+		if fill, ok := fs.fills[key]; ok && fill == op.missSigs[rs.fileStart+i] {
+			if err == nil {
+				fs.cache.put(key)
+			}
+			delete(fs.fills, key)
+			fill.Fire(err)
+		}
+	}
+	op.oneDone(err)
+}
+
+// readOpOneDone is the OnFireCall form of oneDone, for pending fills.
+func readOpOneDone(v any, err error) { v.(*readOp).oneDone(err) }
+
+func (op *readOp) oneDone(err error) {
+	if err != nil && op.firstErr == nil {
+		op.firstErr = err
+	}
+	op.remaining--
+	if op.remaining == 0 {
+		op.finish(op.firstErr)
+	}
+}
+
+// readOpFinish is the event form of finish, for the fully-cached path.
+func readOpFinish(v any, err error) { v.(*readOp).finish(err) }
+
+// finish charges the staging/copy CPU, which serializes on the I/O node
+// CPU clock, and schedules the delivery at the instant the CPU is done.
+func (op *readOp) finish(err error) {
+	fs := op.fs
+	cpu := op.staging
+	if op.copyBytes > 0 {
+		cpu += sim.Time(float64(op.copyBytes) / fs.cfg.MemBandwidth * float64(sim.Second))
+	}
+	start := fs.k.Now()
+	if fs.cpuFree > start {
+		start = fs.cpuFree
+	}
+	fs.cpuFree = start + cpu
+	fs.k.AfterCallErr(fs.cpuFree-fs.k.Now(), readOpDeliver, op, err)
+}
+
+// readOpDeliver runs at the delivery instant and hands the result to the
+// op's consumer: the signal is fired in place (its consumers schedule
+// from there, exactly like the legacy closure), or the ReadCall callback
+// is scheduled as its own event.
+func readOpDeliver(v any, err error) {
+	op := v.(*readOp)
+	fs := op.fs
+	if op.sig != nil {
+		sig := op.sig
+		fs.putReadOp(op)
+		sig.Fire(err)
+		return
+	}
+	fn, arg := op.fn, op.arg
+	fs.putReadOp(op)
+	fs.k.AfterCallErr(0, fn, arg, err)
 }
 
 // Write starts a write of n bytes at offset off. The model is
@@ -372,7 +563,7 @@ func (fs *FS) Write(name string, off, n int64) (*sim.Signal, error) {
 		// Write-through invalidation: a stale cached copy must not serve
 		// later reads.
 		if fs.cache != nil {
-			fs.cache.remove(cacheKey(name, b))
+			fs.cache.remove(blockKey{name, b})
 		}
 	}
 	runs := coalesce(blocks)
@@ -406,7 +597,12 @@ type run struct {
 // contiguity merges — matching what a real block-coalescing read path can
 // do while streaming.
 func coalesce(blocks []int64) []run {
-	var runs []run
+	return coalesceInto(nil, blocks)
+}
+
+// coalesceInto is coalesce appending into caller-provided storage, so the
+// hot read path reuses one runs slice per operation.
+func coalesceInto(runs []run, blocks []int64) []run {
 	for _, b := range blocks {
 		if len(runs) > 0 && runs[len(runs)-1].start+runs[len(runs)-1].count == b {
 			runs[len(runs)-1].count++
@@ -417,8 +613,12 @@ func coalesce(blocks []int64) []run {
 	return runs
 }
 
-func cacheKey(name string, block int64) string {
-	return fmt.Sprintf("%s#%d", name, block)
+// blockKey identifies one file-system block for the cache and fill maps.
+// A comparable struct instead of a formatted string: the buffered path
+// used to pay a fmt.Sprintf per block per read.
+type blockKey struct {
+	name  string
+	block int64
 }
 
 // CacheHitRate reports the buffer cache hit fraction (0 with no lookups).

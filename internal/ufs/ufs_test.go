@@ -297,13 +297,13 @@ func TestLRUProperties(t *testing.T) {
 		capacity := int(capRaw%16) + 1
 		c := newLRU(capacity)
 		for _, kk := range keys {
-			c.put(string(rune('a' + kk%26)))
+			c.put(blockKey{string(rune('a' + kk%26)), 0})
 			if c.len() > capacity {
 				return false
 			}
 		}
-		c.put("fresh")
-		return c.get("fresh")
+		c.put(blockKey{"fresh", 0})
+		return c.get(blockKey{"fresh", 0})
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
