@@ -24,14 +24,14 @@ vet:
 # together with any change that moves the numbers.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
-	$(GO) run ./cmd/runbench -o BENCH_run.json
+	$(GO) run ./cmd/runbench -shards 1,2,4,8 -o BENCH_run.json
 
 # bench-short is the CI smoke variant: one pass over a small grid plus
 # the package micro-benchmarks at -benchtime=1x, just to prove the
 # benchmarks still compile and run.
 bench-short:
 	$(GO) run ./cmd/benchsweep -short -o /dev/null
-	$(GO) run ./cmd/runbench -short -o /dev/null
+	$(GO) run ./cmd/runbench -short -shards 1,4 -o /dev/null
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/
 
 simcheck:

@@ -14,6 +14,16 @@
 // Numbers are wall-clock and machine-dependent — the JSON records
 // num_cpu and gomaxprocs, and comparing files from different hardware
 // measures the hardware, not the code.
+//
+// Sharded engine: -shards takes a comma-separated list of worker counts
+// (e.g. -shards 1,2,4,8) and additionally measures the healthy scenario
+// on the sharded multi-core engine at each count, recording the
+// aggregate events/sec and the parallel speedup of the widest count
+// against shards=1 (the sharded engine's own serial baseline). The
+// event schedules are bit-identical across counts — detgate proves that
+// — so the ratio is a pure scheduling speedup. On machines with fewer
+// CPUs than the widest count the speedup is bounded by the hardware and
+// the JSON carries an explicit caveat.
 package main
 
 import (
@@ -23,6 +33,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/runbench"
@@ -45,6 +57,15 @@ type report struct {
 	BaselinePath         string  `json:"baseline_path,omitempty"`
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	SpeedupHealthy       float64 `json:"speedup_healthy,omitempty"`
+
+	// Sharded-engine measurements (present only with -shards): the
+	// healthy scenario at each worker count, in the order given, plus
+	// the widest count's events/sec ratio against shards=1. ShardCaveat
+	// flags runs where the host had fewer CPUs than the widest count,
+	// which bounds the achievable speedup regardless of the engine.
+	Sharded       []runbench.Measurement `json:"sharded,omitempty"`
+	SpeedupShards float64                `json:"speedup_shards,omitempty"`
+	ShardCaveat   string                 `json:"shard_caveat,omitempty"`
 }
 
 func main() {
@@ -56,6 +77,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "earlier BENCH_run.json from this machine to compute speedup against")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement runs")
+		shardsList = flag.String("shards", "", "comma-separated sharded-engine worker counts to also measure (e.g. 1,2,4,8)")
 	)
 	flag.Parse()
 	opt := runbench.Options{Iterations: *iters}
@@ -104,6 +126,41 @@ func main() {
 			sc.Name, m.WallSec, m.SimPerWall, m.EventsPerSec, m.AllocsPerRead)
 	}
 
+	if *shardsList != "" {
+		counts, err := parseShards(*shardsList)
+		if err != nil {
+			fatal(err.Error())
+		}
+		healthy := scenarios.Golden()[0]
+		var serial, widest runbench.Measurement
+		widestN := 0
+		for _, n := range counts {
+			m, err := runbench.Measure(scenarios.WithShards(healthy, n), opt)
+			if err != nil {
+				fatal(err.Error())
+			}
+			rep.Sharded = append(rep.Sharded, m)
+			fmt.Printf("%-18s %8.3fs wall  %7.1f sim-s/wall-s  %11.0f events/s  %6.1f allocs/read\n",
+				m.Scenario, m.WallSec, m.SimPerWall, m.EventsPerSec, m.AllocsPerRead)
+			if n == 1 {
+				serial = m
+			}
+			if n > widestN {
+				widestN, widest = n, m
+			}
+		}
+		if serial.EventsPerSec > 0 && widestN > 1 {
+			rep.SpeedupShards = widest.EventsPerSec / serial.EventsPerSec
+			fmt.Printf("sharded speedup at %d workers vs shards=1: %.2fx\n", widestN, rep.SpeedupShards)
+		}
+		if runtime.NumCPU() < widestN {
+			rep.ShardCaveat = fmt.Sprintf(
+				"host has %d CPU(s), fewer than the widest shard count %d: parallel speedup is hardware-bound and not representative",
+				runtime.NumCPU(), widestN)
+			fmt.Println("caveat:", rep.ShardCaveat)
+		}
+	}
+
 	if *baseline != "" {
 		buf, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -148,6 +205,18 @@ func main() {
 		fatal(err.Error())
 	}
 	fmt.Println("wrote", *out)
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-shards wants positive worker counts, got %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(msg string) {

@@ -29,6 +29,15 @@
 // stripped to prove the crashes were genuinely fatal without them:
 //
 //	simcheck -crash -seeds 25
+//
+// The -shards N flag points the whole battery at the sharded multi-core
+// engine (N workers per simulation) instead of the legacy single-kernel
+// loop; the oracles are engine-agnostic, so this soaks the conservative
+// parallel scheduler across random scenarios. The sweep pool is shrunk
+// automatically so sweep-level and shard-level parallelism never
+// oversubscribe the CPUs:
+//
+//	simcheck -seeds 25 -parallel 4 -shards 4
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"runtime"
 
 	"repro/internal/simcheck"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -50,6 +60,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "describe every checked scenario, not just failures")
 		keepGoing = flag.Bool("keep-going", false, "sweep past the first failing seed")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker-pool width for the sweep (1 = serial)")
+		shards    = flag.Int("shards", 0, "run every scenario on the sharded engine with this many workers (0 = legacy single-kernel)")
 	)
 	flag.Parse()
 
@@ -57,6 +68,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simcheck: -seeds must be positive")
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "simcheck: -shards must be non-negative")
+		os.Exit(2)
+	}
+	simcheck.Shards = *shards
+	// Sharded runs are themselves parallel; shrink the outer sweep pool so
+	// outer×inner stays within the CPUs.
+	*parallel = sweep.Compose(*parallel, *shards)
 	if *chaos && *crash {
 		fmt.Fprintln(os.Stderr, "simcheck: -chaos and -crash are mutually exclusive")
 		os.Exit(2)

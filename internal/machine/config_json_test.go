@@ -21,6 +21,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	orig.MemberFail = MemberFailPlan{At: 3 * sim.Second, Array: 1, Member: 2}
 	orig.Rebuild = disk.RebuildPolicy{Chunk: 128 << 10, Gap: 5 * sim.Millisecond}
 	orig.NoParity = true
+	orig.Shards = 4 // engine selection must survive the round trip too
 	if err := SaveConfig(path, orig); err != nil {
 		t.Fatal(err)
 	}

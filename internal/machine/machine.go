@@ -61,6 +61,19 @@ type Config struct {
 	UFS           ufs.Config
 	PFS           pfs.Config
 
+	// Shards selects the execution engine. 0 runs the classic
+	// single-kernel event loop — bit-for-bit the legacy behaviour, with
+	// the legacy golden digests. n ≥ 1 runs the sharded
+	// conservative-lookahead engine (sim.ShardSet) with n workers over a
+	// fixed node-group partition: group 0 holds the compute side (every
+	// compute node, the PFS client, workloads, prefetching), and each
+	// I/O node's server/UFS/array/disks form their own group. Because
+	// the partition is fixed and cross-group traffic is merged in the
+	// canonical (time, shard, seq) order, results are bit-identical at
+	// every n ≥ 1; shards=1 is the serial baseline the parallel runs
+	// are measured against.
+	Shards int
+
 	// DiskFaultRate arms per-request fault injection on every member
 	// disk (0 disables). Faults surface as read errors at the
 	// application, with the prefetcher falling back to direct reads.
@@ -114,7 +127,9 @@ func DefaultConfig() Config {
 	}
 }
 
-// Machine is a built simulation instance.
+// Machine is a built simulation instance. K is the compute-side kernel:
+// the single global kernel in legacy mode, shard group 0's kernel in
+// sharded mode (workload processes always spawn there).
 type Machine struct {
 	K       *sim.Kernel
 	Mesh    *mesh.Mesh
@@ -123,6 +138,10 @@ type Machine struct {
 	FS      *pfs.FileSystem
 	Compute []int // mesh addresses of the compute nodes
 	cfg     Config
+
+	ss         *sim.ShardSet  // nil in legacy mode
+	userTrace  *trace.Log     // the log handed to SetTrace
+	shardTrace *trace.Sharded // per-group buckets, merged after Run
 }
 
 // Build constructs the machine on a near-square mesh (the Paragon's
@@ -145,14 +164,28 @@ func Build(cfg Config) *Machine {
 	cfg.Mesh.Width = w
 	cfg.Mesh.Height = h
 
-	k := sim.NewKernel()
+	var ss *sim.ShardSet
+	var k *sim.Kernel
+	if cfg.Shards > 0 {
+		// One group per I/O node plus the compute-side group 0. The
+		// lookahead is the mesh's minimum cross-node latency, the largest
+		// window that is still conservative (see mesh.MinLookahead).
+		ss = sim.NewShardSet(1+cfg.IONodes, cfg.Mesh.HopLatency+cfg.Mesh.RecvOverhead)
+		k = ss.Kernel(0)
+	} else {
+		k = sim.NewKernel()
+	}
 	m := mesh.New(k, cfg.Mesh)
-	mach := &Machine{K: k, Mesh: m, cfg: cfg}
+	mach := &Machine{K: k, Mesh: m, cfg: cfg, ss: ss}
 	for i := 0; i < cfg.ComputeNodes; i++ {
 		mach.Compute = append(mach.Compute, i)
 	}
 	for i := 0; i < cfg.IONodes; i++ {
-		array := disk.NewArray(k, fmt.Sprintf("raid%d", i), cfg.ArrayMembers,
+		ki := k
+		if ss != nil {
+			ki = ss.Kernel(1 + i)
+		}
+		array := disk.NewArray(ki, fmt.Sprintf("raid%d", i), cfg.ArrayMembers,
 			cfg.DiskGeometry, cfg.DiskSched, cfg.ArrayOverhead)
 		mach.Arrays = append(mach.Arrays, array)
 		if cfg.DiskFaultRate > 0 {
@@ -171,12 +204,24 @@ func Build(cfg Config) *Machine {
 		}
 		ucfg := cfg.UFS
 		ucfg.Seed = cfg.UFS.Seed + int64(i)*7919 // distinct, deterministic layouts
-		fs := ufs.New(k, array, ucfg)
-		srv := ionode.New(k, m, cfg.ComputeNodes+i, fs, cfg.Dispatch)
+		fs := ufs.New(ki, array, ucfg)
+		srv := ionode.New(ki, m, cfg.ComputeNodes+i, fs, cfg.Dispatch)
 		srv.SetShedPolicy(cfg.Shed)
+		if ss != nil {
+			// Reply-delivery callbacks run on the requesters' shard;
+			// service-time observation must read that clock.
+			srv.SetReplyClock(k)
+		}
 		mach.Servers = append(mach.Servers, srv)
 	}
 	mach.FS = pfs.Mount(k, m, mach.Servers, cfg.PFS)
+	if ss != nil {
+		groupOf := make([]int, m.Nodes()) // compute + grid-slack slots → group 0
+		for i := 0; i < cfg.IONodes; i++ {
+			groupOf[cfg.ComputeNodes+i] = 1 + i
+		}
+		m.BindShards(ss, groupOf)
+	}
 	mach.scheduleCrashes(cfg.Crash)
 	mach.scheduleMemberFail(cfg)
 	return mach
@@ -218,6 +263,23 @@ func (m *Machine) scheduleCrashes(plan CrashPlan) {
 			}
 		}
 		srv := m.Servers[i]
+		if m.ss != nil {
+			// Sharded mode: the crash/restart events run on the victim's
+			// own shard, and cross-shard health queries (mesh delivery,
+			// client down-polling) consult the static schedule instead of
+			// runtime flags — same send-time semantics, no shared state.
+			ki := m.ss.Kernel(1 + i)
+			sched := make([]ionode.Outage, 0, len(merged))
+			for _, o := range merged {
+				o := o
+				ki.At(o.at, func() { srv.Crash(o.until) })
+				ki.At(o.until, func() { srv.Restart() })
+				m.Mesh.AddOutage(srv.Node(), o.at, o.until)
+				sched = append(sched, ionode.Outage{At: o.at, Until: o.until})
+			}
+			srv.SetOutageSchedule(sched)
+			continue
+		}
 		for _, o := range merged {
 			o := o
 			m.K.At(o.at, func() {
@@ -248,7 +310,11 @@ func (m *Machine) scheduleMemberFail(cfg Config) {
 	array := m.Arrays[ai]
 	rebuild := cfg.Rebuild
 	noParity := cfg.NoParity
-	m.K.At(cfg.MemberFail.At, func() {
+	ka := m.K
+	if m.ss != nil {
+		ka = m.ss.Kernel(1 + ai) // the member death fires on its array's shard
+	}
+	ka.At(cfg.MemberFail.At, func() {
 		array.FailMember(mi)
 		if rebuild.Chunk > 0 && !noParity {
 			array.StartRebuild(rebuild)
@@ -258,12 +324,78 @@ func (m *Machine) scheduleMemberFail(cfg Config) {
 
 // SetTrace attaches tl to every server and array so node crashes,
 // degraded reads, and rebuild progress appear on the workload timeline
-// alongside the PFS events.
+// alongside the PFS events. In sharded mode each node group writes to
+// its own bucket (a Log is single-context) and Run merges the buckets
+// into tl canonically; client-side producers must use ClientTrace.
 func (m *Machine) SetTrace(tl *trace.Log) {
+	m.userTrace = tl
+	if m.ss != nil {
+		m.shardTrace = trace.NewSharded(1+len(m.Servers), tl.Cap())
+		for i, s := range m.Servers {
+			b := m.shardTrace.Bucket(1 + i)
+			s.SetTrace(b)
+			m.Arrays[i].SetTrace(b, s.Node())
+		}
+		return
+	}
 	for i, s := range m.Servers {
 		s.SetTrace(tl)
 		m.Arrays[i].SetTrace(tl, s.Node())
 	}
+}
+
+// ClientTrace returns the log compute-side producers (the PFS client,
+// prefetching, workloads) should append to: shard group 0's bucket in
+// sharded mode, the SetTrace log otherwise. Nil until SetTrace is
+// called.
+func (m *Machine) ClientTrace() *trace.Log {
+	if m.shardTrace != nil {
+		return m.shardTrace.Bucket(0)
+	}
+	return m.userTrace
+}
+
+// Run executes the simulation to completion: the sharded engine with
+// Config.Shards workers when sharding is enabled, the single kernel
+// otherwise. Sharded trace buckets are merged into the SetTrace log
+// before returning (even on error, so partial timelines are visible).
+func (m *Machine) Run() error {
+	if m.ss != nil {
+		err := m.ss.Run(m.cfg.Shards)
+		if m.shardTrace != nil && m.userTrace != nil {
+			m.shardTrace.MergeInto(m.userTrace)
+			m.shardTrace = nil // ClientTrace now resolves to the merged log
+		}
+		return err
+	}
+	return m.K.Run()
+}
+
+// Executed reports the events executed so far across all kernels.
+func (m *Machine) Executed() uint64 {
+	if m.ss != nil {
+		return m.ss.Executed()
+	}
+	return m.K.Executed()
+}
+
+// PerGroupExecuted reports per-shard-group event counts in sharded mode
+// (nil otherwise) — the load-balance evidence benchmarks record.
+func (m *Machine) PerGroupExecuted() []uint64 {
+	if m.ss != nil {
+		return m.ss.PerGroupExecuted()
+	}
+	return nil
+}
+
+// KernelFingerprint hashes the execution history: the kernel's own
+// fingerprint in legacy mode (identical bits to K.Fingerprint), the
+// shard set's combined per-group fingerprint in sharded mode.
+func (m *Machine) KernelFingerprint() uint64 {
+	if m.ss != nil {
+		return m.ss.Fingerprint()
+	}
+	return m.K.Fingerprint()
 }
 
 // Config returns the configuration the machine was built with (geometry

@@ -72,7 +72,8 @@ type linkKey struct {
 func linkIndex(node int, dir direction) int { return node*4 + int(dir) }
 
 // Mesh is the interconnect instance. All methods must be called from
-// simulation context (events or processes of the owning kernel).
+// simulation context (events or processes of the owning kernel — or, in
+// sharded mode, of the kernel owning the sending node's group).
 type Mesh struct {
 	k   *sim.Kernel
 	cfg Config
@@ -82,12 +83,27 @@ type Mesh struct {
 	ejectFree  []sim.Time // per-node ejection port clock
 	down       []bool     // nodes whose deliveries are dropped (crashed)
 
+	// Sharded mode (BindShards): sends are deferred into per-group
+	// outboxes and resolved at round barriers; see Resolve. The link and
+	// port clocks above stay global — they are only ever advanced from
+	// Resolve, which runs single-threaded in canonical order.
+	shards  *sim.ShardSet
+	groupOf []int      // node -> shard group
+	outages [][]outage // per-node static down intervals (replaces SetDown)
+
 	// Measurements.
 	Messages int64
 	Bytes    int64
 	Dropped  int64           // messages addressed to a down node
 	Latency  stats.Histogram // end-to-end message latency, seconds
 }
+
+// outage is one closed-open [at, until) interval during which a node
+// drops deliveries. Sharded runs use a static schedule instead of the
+// SetDown flag because the flag would be read from other groups'
+// execution contexts; the machine layer knows every outage at build
+// time, so the lookup can be a pure function of the send time.
+type outage struct{ at, until sim.Time }
 
 // New builds a mesh on kernel k. It panics on a non-positive geometry or
 // bandwidth, which would make every transfer time undefined.
@@ -115,6 +131,9 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 // hand the message to. Senders see nothing, exactly like the real
 // machine, and discover the loss by timeout.
 func (m *Mesh) SetDown(node int, down bool) {
+	if m.shards != nil {
+		panic("mesh: SetDown is a legacy-mode control; sharded runs use the static AddOutage schedule")
+	}
 	if node < 0 || node >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: node %d outside %d-node mesh", node, m.Nodes()))
 	}
@@ -123,6 +142,73 @@ func (m *Mesh) SetDown(node int, down bool) {
 
 // Nodes reports the number of node slots in the mesh.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// MinLookahead returns a lower bound on the delivery latency of any
+// message: HopLatency + RecvOverhead. Even a zero-byte self-send pays
+// one hop of ejection-stage latency plus the receive software cost, and
+// the bound must hold for Transfer too, whose sender overhead is paid
+// by the sleeping process before the message is injected — so
+// SendOverhead cannot be part of the bound. This is the safe lookahead
+// window for conservative parallel execution (sim.ShardSet).
+func (m *Mesh) MinLookahead() sim.Time { return m.cfg.HopLatency + m.cfg.RecvOverhead }
+
+// BindShards switches the mesh into sharded mode: sends from a node are
+// appended to its group's outbox and resolved at round barriers in the
+// canonical (time, shard, seq) order, instead of advancing the link
+// clocks inline. groupOf maps every mesh node slot to its shard group.
+// The shard set's lookahead must not exceed MinLookahead — otherwise a
+// message could arrive inside the window that was executed assuming no
+// input, and the conservative protocol would be unsound.
+func (m *Mesh) BindShards(ss *sim.ShardSet, groupOf []int) {
+	if len(groupOf) != m.Nodes() {
+		panic(fmt.Sprintf("mesh: groupOf covers %d of %d nodes", len(groupOf), m.Nodes()))
+	}
+	for n, g := range groupOf {
+		if g < 0 || g >= ss.Groups() {
+			panic(fmt.Sprintf("mesh: node %d assigned to group %d outside %d groups", n, g, ss.Groups()))
+		}
+	}
+	if la := ss.Lookahead(); la > m.MinLookahead() {
+		panic(fmt.Sprintf("mesh: shard lookahead %v exceeds the mesh minimum latency %v", la, m.MinLookahead()))
+	}
+	m.shards = ss
+	m.groupOf = append([]int(nil), groupOf...)
+	m.outages = make([][]outage, m.Nodes())
+	ss.SetResolver(m)
+}
+
+// AddOutage schedules a static delivery outage for node over [at,
+// until): sharded mode's replacement for runtime SetDown calls. Must be
+// called before the simulation runs; intervals of one node must be
+// added in nondecreasing, non-overlapping order (the machine layer
+// merges them).
+func (m *Mesh) AddOutage(node int, at, until sim.Time) {
+	if m.shards == nil {
+		panic("mesh: AddOutage requires sharded mode (BindShards)")
+	}
+	if node < 0 || node >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: node %d outside %d-node mesh", node, m.Nodes()))
+	}
+	if until <= at {
+		panic(fmt.Sprintf("mesh: empty outage [%v, %v)", at, until))
+	}
+	m.outages[node] = append(m.outages[node], outage{at: at, until: until})
+}
+
+// downAt reports whether node drops deliveries for a message sent at t:
+// the static schedule in sharded mode, the SetDown flag otherwise (both
+// are evaluated at send time, like the legacy path).
+func (m *Mesh) downAt(node int, t sim.Time) bool {
+	if m.shards != nil {
+		for _, o := range m.outages[node] {
+			if t >= o.at && t < o.until {
+				return true
+			}
+		}
+		return false
+	}
+	return m.down[node]
+}
 
 // coord maps a node id to mesh coordinates.
 func (m *Mesh) coord(id int) (x, y int) { return id % m.cfg.Width, id / m.cfg.Width }
@@ -186,8 +272,16 @@ func occupy(free *sim.Time, arrival sim.Time, dur sim.Time) sim.Time {
 // overhead) has arrived. It returns the delivery time. Send itself does
 // not consume sender CPU time; callers that model a blocking sender should
 // sleep SendOverhead around the call (see Transfer).
+//
+// In sharded mode the message is outboxed and resolved at the round
+// barrier instead, and Send returns 0: the delivery time is not known
+// at send time. No non-test caller uses the return value.
 func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
-	deliveredAt, delivered := m.transit(src, dst, size)
+	if m.shards != nil {
+		m.post(src, dst, size, false).Fn = deliver
+		return 0
+	}
+	deliveredAt, delivered := m.transitAt(m.k.Now(), m.cfg.SendOverhead, src, dst, size)
 	if delivered && deliver != nil {
 		m.k.At(deliveredAt, deliver)
 	}
@@ -199,17 +293,53 @@ func (m *Mesh) Send(src, dst int, size int64, deliver func()) sim.Time {
 // closure constructed, making the whole send allocation-free. Routing,
 // timing, accounting, and drop behavior are identical to Send.
 func (m *Mesh) SendCall(src, dst int, size int64, deliver func(any), arg any) sim.Time {
-	deliveredAt, delivered := m.transit(src, dst, size)
+	if m.shards != nil {
+		p := m.post(src, dst, size, false)
+		p.CFn, p.Arg = deliver, arg
+		return 0
+	}
+	deliveredAt, delivered := m.transitAt(m.k.Now(), m.cfg.SendOverhead, src, dst, size)
 	if delivered && deliver != nil {
 		m.k.AtCall(deliveredAt, deliver, arg)
 	}
 	return deliveredAt
 }
 
-// transit routes the message, advances the port and link clocks, and
-// records the measurement. delivered is false when the destination is
-// down and the delivery callback must not run.
-func (m *Mesh) transit(src, dst int, size int64) (deliveredAt sim.Time, delivered bool) {
+// post books a sharded send into the source group's outbox. The send's
+// group is derived from src — model code always sends from the node it
+// is executing on, so src's group is the executing group.
+func (m *Mesh) post(src, dst int, size int64, noSendOH bool) *sim.Post {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
+	}
+	if size < 0 {
+		panic("mesh: negative message size")
+	}
+	p := m.shards.Post(m.groupOf[src])
+	p.Src, p.Dst, p.Size, p.NoSendOverhead = src, dst, size, noSendOH
+	return p
+}
+
+// Resolve implements sim.Resolver: it routes an outboxed post exactly
+// like an inline transit would have at its send time, advancing the
+// global link and port clocks. Called single-threaded at round
+// barriers in canonical (time, shard, seq) order, which keeps the
+// shared clocks deterministic at every worker count.
+func (m *Mesh) Resolve(p *sim.Post) (group int, at sim.Time, deliver bool) {
+	oh := m.cfg.SendOverhead
+	if p.NoSendOverhead {
+		oh = 0
+	}
+	at, deliver = m.transitAt(p.T, oh, p.Src, p.Dst, p.Size)
+	return m.groupOf[p.Dst], at, deliver
+}
+
+// transitAt routes a message sent at now, advances the port and link
+// clocks, and records the measurement. delivered is false when the
+// destination is down and the delivery callback must not run. sendOH is
+// the sender software overhead to charge (zero when the sender already
+// paid it, see Transfer).
+func (m *Mesh) transitAt(now sim.Time, sendOH sim.Time, src, dst int, size int64) (deliveredAt sim.Time, delivered bool) {
 	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
 		panic(fmt.Sprintf("mesh: send %d->%d outside %d-node mesh", src, dst, m.Nodes()))
 	}
@@ -219,12 +349,11 @@ func (m *Mesh) transit(src, dst int, size int64) (deliveredAt sim.Time, delivere
 	m.Messages++
 	m.Bytes += size
 
-	now := m.k.Now()
 	xfer := bytesTime(size, m.cfg.LinkBandwidth)
 	nicXfer := bytesTime(size, m.cfg.NICBandwidth)
 
 	// Software initiation, then the injection port.
-	headAt := now + m.cfg.SendOverhead
+	headAt := now + sendOH
 	start := occupy(&m.injectFree[src], headAt, nicXfer)
 
 	// The head advances one hop per HopLatency; each link is held for the
@@ -262,7 +391,7 @@ func (m *Mesh) transit(src, dst int, size int64) (deliveredAt sim.Time, delivere
 	deliveredAt = ejStart + nicXfer + m.cfg.RecvOverhead
 
 	m.Latency.Observe((deliveredAt - now).Seconds())
-	if m.down[dst] {
+	if m.downAt(dst, now) {
 		m.Dropped++
 		return deliveredAt, false
 	}
@@ -271,16 +400,21 @@ func (m *Mesh) transit(src, dst int, size int64) (deliveredAt sim.Time, delivere
 
 // Transfer is the blocking-process form of Send: the calling process pays
 // the sender software overhead, the message is injected, and a Signal is
-// returned that fires at delivery on the destination.
+// returned that fires at delivery on the destination. The overhead was
+// already paid by the sleeping process, so the transit charges none.
+// Transfer is a client-side primitive: in sharded mode the signal lives
+// on the mesh's home kernel, so only processes of that group may use it.
 func (m *Mesh) Transfer(p *sim.Proc, src, dst int, size int64) *sim.Signal {
 	p.Sleep(m.cfg.SendOverhead)
 	done := sim.NewSignal(m.k)
-	// SendOverhead was already paid by the sleeping process; compensate so
-	// Send does not charge it twice.
-	saved := m.cfg.SendOverhead
-	m.cfg.SendOverhead = 0
-	m.Send(src, dst, size, func() { done.Fire(nil) })
-	m.cfg.SendOverhead = saved
+	if m.shards != nil {
+		m.post(src, dst, size, true).Fn = func() { done.Fire(nil) }
+		return done
+	}
+	deliveredAt, delivered := m.transitAt(m.k.Now(), 0, src, dst, size)
+	if delivered {
+		m.k.At(deliveredAt, func() { done.Fire(nil) })
+	}
 	return done
 }
 

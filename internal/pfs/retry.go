@@ -169,7 +169,10 @@ func (at *pieceAttempt) finish(err error) {
 func (fsys *FileSystem) sendAttempt(at *pieceAttempt) {
 	srv := fsys.servers[at.meta.group[at.pc.server]]
 	pol := fsys.cfg.Retry
-	if pol.DownPoll > 0 && srv.Down() {
+	// Health is queried at the client's clock (DownAt): on a sharded
+	// machine the server lives on another shard and its flags may not be
+	// read from here, but the outage schedule is static and pure.
+	if down, _ := srv.DownAt(fsys.k.Now()); pol.DownPoll > 0 && down {
 		// Known down before anything hit the wire: park, don't send.
 		fsys.deferAttempt(at)
 		return
@@ -243,7 +246,8 @@ func attemptTimeout(v any) {
 	pol := fsys.cfg.Retry
 	fsys.Timeouts++
 	fsys.emit(trace.TimeoutFired, srv.Node(), at.meta.name, at.pc.localOff, at.pc.n)
-	if pol.DownPoll > 0 && srv.Down() {
+	down, _ := srv.DownAt(fsys.k.Now())
+	if pol.DownPoll > 0 && down {
 		// The deadline was the discovery that the node died, not
 		// evidence against a live one: the attempt does not burn retry
 		// budget, the piece re-arms on the restart.
@@ -291,7 +295,7 @@ func (fsys *FileSystem) deferAttempt(at *pieceAttempt) {
 	srv := fsys.servers[at.meta.group[at.pc.server]]
 	pol := fsys.cfg.Retry
 	now := fsys.k.Now()
-	restart := srv.DownUntil()
+	_, restart := srv.DownAt(now)
 	if pol.DownDeadline > 0 {
 		deadline := at.first + pol.DownDeadline
 		if now >= deadline || restart > deadline {

@@ -1,0 +1,118 @@
+package runbench
+
+import (
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// TestShardDifferential is the shard-differential harness: every golden
+// scenario (healthy, chaos, crash) must produce bit-identical results —
+// workload fingerprint, trace digest, kernel fingerprint, event count —
+// at shard worker counts 1, 2, 4, and 8. Shards=1 is the serial
+// execution of the sharded engine; equality across counts proves the
+// conservative-lookahead protocol delivers the same event history no
+// matter how the groups are scheduled onto workers. Run under -race
+// this also exercises the engine's synchronization (CI's test job runs
+// the suite with -race).
+func TestShardDifferential(t *testing.T) {
+	counts := []int{1, 2, 4, 8}
+	for _, sc := range scenarios.Golden() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			type digest struct {
+				fp, tr, kfp uint64
+				events      uint64
+			}
+			var base digest
+			for i, n := range counts {
+				res, tl, err := Run(scenarios.WithShards(sc, n))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				d := digest{
+					fp:     res.Fingerprint(),
+					tr:     tl.Digest(),
+					kfp:    res.Machine.KernelFingerprint(),
+					events: res.Machine.Executed(),
+				}
+				if i == 0 {
+					base = d
+					continue
+				}
+				if d != base {
+					t.Errorf("shards=%d diverged from shards=1:\n  fingerprint %016x vs %016x\n  trace       %016x vs %016x\n  kernel      %016x vs %016x\n  events      %d vs %d",
+						n, d.fp, base.fp, d.tr, base.tr, d.kfp, base.kfp, d.events, base.events)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesLegacySemantics compares the sharded engine against
+// the legacy single-kernel engine on every golden scenario. The two
+// engines hash their kernels differently (one kernel vs a per-group
+// set), so whole-result fingerprints legitimately differ — but every
+// observable quantity of the simulation must agree: the trace timeline,
+// elapsed simulated time, bytes delivered, per-node delivery digests,
+// and the full fault-counter block. This pins the sharded engine to the
+// legacy semantics, not merely to itself.
+func TestShardedMatchesLegacySemantics(t *testing.T) {
+	for _, sc := range scenarios.Golden() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			legacy, ltl, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, stl, err := Run(scenarios.WithShards(sc, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ltl.Digest() != stl.Digest() {
+				t.Errorf("trace digest: legacy %016x, sharded %016x", ltl.Digest(), stl.Digest())
+			}
+			if legacy.Elapsed != sharded.Elapsed {
+				t.Errorf("elapsed: legacy %v, sharded %v", legacy.Elapsed, sharded.Elapsed)
+			}
+			if legacy.TotalBytes != sharded.TotalBytes || legacy.ReadCalls != sharded.ReadCalls {
+				t.Errorf("delivery: legacy %d bytes/%d reads, sharded %d bytes/%d reads",
+					legacy.TotalBytes, legacy.ReadCalls, sharded.TotalBytes, sharded.ReadCalls)
+			}
+			if legacy.UnavailableBytes != sharded.UnavailableBytes {
+				t.Errorf("unavailable bytes: legacy %d, sharded %d", legacy.UnavailableBytes, sharded.UnavailableBytes)
+			}
+			if legacy.Fault != sharded.Fault {
+				t.Errorf("fault counters: legacy %+v, sharded %+v", legacy.Fault, sharded.Fault)
+			}
+			for i, d := range legacy.DeliveryDigests {
+				if sharded.DeliveryDigests[i] != d {
+					t.Errorf("node %d delivery digest: legacy %016x, sharded %016x", i, d, sharded.DeliveryDigests[i])
+				}
+			}
+			if legacy.Machine.Executed() != sharded.Machine.Executed() {
+				t.Errorf("executed events: legacy %d, sharded %d",
+					legacy.Machine.Executed(), sharded.Machine.Executed())
+			}
+		})
+	}
+}
+
+// TestShardDifferentialRepeat proves one sharded configuration is
+// deterministic run-to-run, not merely consistent across worker counts
+// in a single pass.
+func TestShardDifferentialRepeat(t *testing.T) {
+	sc := scenarios.WithShards(scenarios.Golden()[0], 4)
+	res1, tl1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, tl2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Fingerprint() != res2.Fingerprint() || tl1.Digest() != tl2.Digest() {
+		t.Errorf("repeat run diverged: fingerprint %016x vs %016x, trace %016x vs %016x",
+			res1.Fingerprint(), res2.Fingerprint(), tl1.Digest(), tl2.Digest())
+	}
+}

@@ -9,6 +9,8 @@
 package scenarios
 
 import (
+	"fmt"
+
 	"repro/internal/disk"
 	"repro/internal/ionode"
 	"repro/internal/machine"
@@ -97,6 +99,23 @@ func Golden() []Scenario {
 		{Name: "chaos", Config: ChaosMachine},
 		{Name: "crash", Config: CrashMachine,
 			Tweak: func(spec *workload.Spec) { spec.ContinueOnUnavailable = true }},
+	}
+}
+
+// WithShards returns sc reconfigured for the sharded engine with the
+// given worker count (n ≥ 1), renamed "<name>@shards=<n>". The fixed
+// group partition makes results bit-identical at every n, so detgate
+// records one sharded digest per scenario and asserts the others equal.
+func WithShards(sc Scenario, n int) Scenario {
+	base := sc.Config
+	return Scenario{
+		Name: fmt.Sprintf("%s@shards=%d", sc.Name, n),
+		Config: func() machine.Config {
+			cfg := base()
+			cfg.Shards = n
+			return cfg
+		},
+		Tweak: sc.Tweak,
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // whole At/dispatch round trip allocates nothing.
 type event struct {
 	t    Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	seq  uint64 // tie-breaker: see the (time, seq) total order below
 	fn   func()
 	cfn  func(any)
 	ecfn func(any, error)
@@ -85,6 +85,17 @@ func (h *eventHeap) pop() *event {
 // concurrent use from multiple OS threads; all concurrency in a simulation
 // is expressed through processes, which the kernel interleaves
 // deterministically one at a time.
+//
+// Simultaneous events execute in an explicit documented total order,
+// never by heap insertion accident: (time, seq), where seq is the
+// kernel's scheduling sequence number — events booked earlier run
+// earlier at the same instant. In a sharded execution (ShardSet) each
+// group's kernel keeps its own seq counter, and cross-group deliveries
+// extend this to the global (time, shard, seq) order documented in
+// shard.go: a delivery is booked on its target kernel at the round
+// barrier, in canonical merge order, so the seq it receives — and hence
+// its rank among same-instant events — is a pure function of the
+// simulation's data, identical at every worker count.
 type Kernel struct {
 	now      Time
 	seq      uint64
@@ -104,6 +115,15 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
+
+// peek returns the time of the earliest pending event, if any. The
+// sharded scheduler uses it to compute each round's lookahead window.
+func (k *Kernel) peek() (Time, bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].t, true
+}
 
 // Pending reports the number of events waiting to run.
 func (k *Kernel) Pending() int { return len(k.events) }

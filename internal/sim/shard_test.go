@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// echoResolver delivers every post to the group named by its Dst field
+// exactly lookahead later — the minimal legal resolver.
+type echoResolver struct{ l Time }
+
+func (r echoResolver) Resolve(p *Post) (group int, at Time, deliver bool) {
+	return p.Dst, p.T + r.l, true
+}
+
+// recordingResolver additionally logs the canonical drain order.
+type recordingResolver struct {
+	l     Time
+	order []*Post
+	seen  []struct {
+		group int
+		seq   uint64
+		t     Time
+	}
+}
+
+func (r *recordingResolver) Resolve(p *Post) (group int, at Time, deliver bool) {
+	r.seen = append(r.seen, struct {
+		group int
+		seq   uint64
+		t     Time
+	}{p.SrcGroup, p.Seq, p.T})
+	return p.Dst, p.T + r.l, true
+}
+
+// TestCrossShardTieBreak is the regression test for the tie-break
+// hazard: posts carrying the same send timestamp from different groups
+// must drain in the documented (time, shard, seq) total order — not in
+// outbox-scan or thread-completion order — and the order must be
+// identical at every worker count. Three groups send at the same
+// instant, one of them twice, plus one earlier-time send from the
+// highest group that must beat them all.
+func TestCrossShardTieBreak(t *testing.T) {
+	const L = 100
+	build := func() (*ShardSet, *recordingResolver, *[]int) {
+		ss := NewShardSet(4, L)
+		r := &recordingResolver{l: L}
+		ss.SetResolver(r)
+		delivered := &[]int{}
+		post := func(src, tag int) {
+			p := ss.Post(src)
+			p.Dst = 0
+			p.Fn = func() { *delivered = append(*delivered, tag) }
+		}
+		// Group 3 sends at t=40: earliest time, must drain first even
+		// though its shard index is the highest.
+		ss.Kernel(3).At(40, func() { post(3, 30) })
+		// Groups 1..3 all send at t=50; group 2 twice (seq order).
+		ss.Kernel(1).At(50, func() { post(1, 10) })
+		ss.Kernel(2).At(50, func() { post(2, 20); post(2, 21) })
+		ss.Kernel(3).At(50, func() { post(3, 31) })
+		return ss, r, delivered
+	}
+
+	wantDrain := []struct {
+		group int
+		seq   uint64
+		t     Time
+	}{
+		{3, 1, 40},
+		{1, 1, 50},
+		{2, 1, 50},
+		{2, 2, 50},
+		{3, 2, 50},
+	}
+	wantDelivered := []int{30, 10, 20, 21, 31}
+
+	var baseFP uint64
+	for _, workers := range []int{1, 2, 4} {
+		ss, r, delivered := build()
+		if err := ss.Run(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(r.seen) != len(wantDrain) {
+			t.Fatalf("workers=%d: drained %d posts, want %d", workers, len(r.seen), len(wantDrain))
+		}
+		for i, got := range r.seen {
+			if got != wantDrain[i] {
+				t.Errorf("workers=%d: drain[%d] = group %d seq %d t %v, want group %d seq %d t %v",
+					workers, i, got.group, got.seq, got.t, wantDrain[i].group, wantDrain[i].seq, wantDrain[i].t)
+			}
+		}
+		for i, got := range *delivered {
+			if got != wantDelivered[i] {
+				t.Errorf("workers=%d: delivery[%d] = %d, want %d", workers, i, got, wantDelivered[i])
+			}
+		}
+		if workers == 1 {
+			baseFP = ss.Fingerprint()
+		} else if fp := ss.Fingerprint(); fp != baseFP {
+			t.Errorf("workers=%d: fingerprint %016x != serial %016x", workers, fp, baseFP)
+		}
+	}
+}
+
+// TestShardWorkerInvariance runs a multi-round ping-pong mesh of chained
+// messages and checks that fingerprints and executed counts match at
+// every worker count, including workers beyond the group count (which
+// Run clamps).
+func TestShardWorkerInvariance(t *testing.T) {
+	const G, L = 5, 7
+	run := func(workers int) (uint64, uint64) {
+		ss := NewShardSet(G, L)
+		ss.SetResolver(echoResolver{l: L})
+		var hop func(src, hops int)
+		hop = func(src, hops int) {
+			if hops == 0 {
+				return
+			}
+			dst := (src + 3) % G
+			p := ss.Post(src)
+			p.Dst = dst
+			p.Fn = func() { hop(dst, hops-1) }
+		}
+		for g := 0; g < G; g++ {
+			g := g
+			ss.Kernel(g).At(Time(1+g), func() { hop(g, 20+g) })
+		}
+		if err := ss.Run(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return ss.Fingerprint(), ss.Executed()
+	}
+	fp1, ev1 := run(1)
+	for _, w := range []int{2, 3, G, G + 3} {
+		if fp, ev := run(w); fp != fp1 || ev != ev1 {
+			t.Errorf("workers=%d: fingerprint/executed %016x/%d, want %016x/%d", w, fp, ev, fp1, ev1)
+		}
+	}
+}
+
+// badResolver violates the lookahead contract: arrival == send time.
+type badResolver struct{}
+
+func (badResolver) Resolve(p *Post) (group int, at Time, deliver bool) {
+	return p.Dst, p.T, true
+}
+
+// TestShardLookaheadViolationPanics proves the drain enforces the
+// lookahead lower bound at runtime instead of silently corrupting
+// causality.
+func TestShardLookaheadViolationPanics(t *testing.T) {
+	ss := NewShardSet(2, 10)
+	ss.SetResolver(badResolver{})
+	ss.Kernel(0).At(5, func() {
+		p := ss.Post(0)
+		p.Dst = 1
+		p.Fn = func() {}
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic on lookahead violation")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lookahead violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	ss.Run(1) //nolint:errcheck
+}
+
+// TestShardMissingResolverPanics: posting without a resolver is a wiring
+// bug and must fail loudly at the first drain.
+func TestShardMissingResolverPanics(t *testing.T) {
+	ss := NewShardSet(2, 10)
+	ss.Kernel(0).At(5, func() {
+		p := ss.Post(0)
+		p.Dst = 1
+		p.Fn = func() {}
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on missing resolver")
+		}
+	}()
+	ss.Run(1) //nolint:errcheck
+}
+
+// TestShardDeadlock: a non-daemon process blocked with no pending events
+// anywhere must surface the same deadlock diagnosis Kernel.Run gives.
+func TestShardDeadlock(t *testing.T) {
+	ss := NewShardSet(2, 5)
+	k := ss.Kernel(1)
+	q := NewQueue[int](k)
+	k.Go("stuck", func(p *Proc) { q.Get(p) })
+	err := ss.Run(2)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestNewShardSetValidation pins the constructor's contract checks.
+func TestNewShardSetValidation(t *testing.T) {
+	for _, tc := range []struct{ groups, lookahead int }{{0, 10}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewShardSet(%d, %d): no panic", tc.groups, tc.lookahead)
+				}
+			}()
+			NewShardSet(tc.groups, Time(tc.lookahead))
+		}()
+	}
+}
+
+// BenchmarkShardPostDrain measures the cross-shard post/drain hot path:
+// one message bounced between two groups, each bounce being one round
+// (post, barrier, resolve, deliver). Steady state must be allocation
+// free — posts, kernel events, and the boxed group argument all come
+// from pools — and detgate -allocs pins that at 0 allocs/op.
+func BenchmarkShardPostDrain(b *testing.B) {
+	const L = 10
+	ss := NewShardSet(2, L)
+	ss.SetResolver(echoResolver{l: L})
+	n, target := 0, 0
+	var hop func(any)
+	hop = func(g any) {
+		if n >= target {
+			return
+		}
+		n++
+		src := g.(int)
+		p := ss.Post(src)
+		p.Dst = 1 - src
+		p.CFn = hop
+		p.Arg = 1 - src // ints 0/1 box without allocating
+	}
+	run := func(bounces int) {
+		n, target = 0, bounces
+		ss.Kernel(0).AfterCall(1, hop, 0)
+		if err := ss.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run(64) // warm the post and event pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	run(b.N)
+}

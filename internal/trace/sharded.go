@@ -1,0 +1,60 @@
+package trace
+
+// Sharded is a family of per-shard trace buckets for parallel (sharded)
+// simulations. A single Log must only be appended to from one execution
+// context, so a sharded machine hands every node group its own bucket —
+// an ordinary *Log the group's components attach as usual — and merges
+// them into one timeline after the run.
+//
+// The merge order is canonical: (time, bucket, intra-bucket index).
+// Each bucket's events are nondecreasing in time (its group's clock
+// only moves forward), so the merge is a plain k-way head comparison,
+// and the merged timeline — and therefore its Digest — is a pure
+// function of the simulation's data, bit-identical at every worker
+// count. It intentionally differs from a single-kernel run's log, which
+// interleaves groups in global event order; sharded runs have their own
+// golden digests.
+type Sharded struct {
+	buckets []*Log
+}
+
+// NewSharded returns buckets independent logs of the given capacity
+// each. Capacity bounds are per bucket, so retention (and the drop
+// counts folded into the digest) depends only on the fixed group
+// partition, never on the worker count.
+func NewSharded(buckets, capacity int) *Sharded {
+	s := &Sharded{buckets: make([]*Log, buckets)}
+	for i := range s.buckets {
+		s.buckets[i] = NewLog(capacity)
+	}
+	return s
+}
+
+// Bucket returns shard group g's log.
+func (s *Sharded) Bucket(g int) *Log { return s.buckets[g] }
+
+// MergeInto appends all bucket events to dst in (time, bucket) order
+// and folds the buckets' drop counts into dst's. Events beyond dst's
+// capacity are dropped by dst as usual, which is equally canonical.
+func (s *Sharded) MergeInto(dst *Log) {
+	idx := make([]int, len(s.buckets))
+	for {
+		best := -1
+		var bt int64
+		for b, l := range s.buckets {
+			if idx[b] < len(l.events) {
+				if t := int64(l.events[idx[b]].T); best < 0 || t < bt {
+					best, bt = b, t
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst.Add(s.buckets[best].events[idx[best]])
+		idx[best]++
+	}
+	for _, l := range s.buckets {
+		dst.dropped += l.dropped
+	}
+}

@@ -77,7 +77,7 @@ func (r *Result) Fingerprint() uint64 {
 			put(uint64(a.RebuildBytes))
 			put(uint64(a.RebuildDoneAt))
 		}
-		put(r.Machine.K.Fingerprint())
+		put(r.Machine.KernelFingerprint())
 	}
 	if p := r.Prefetch; p != nil {
 		for _, v := range []int64{p.Issued, p.Hits, p.HitsInWait, p.Misses,

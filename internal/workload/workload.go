@@ -213,8 +213,11 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 	}
 
 	if spec.Trace != nil {
-		m.FS.SetTrace(spec.Trace)
+		// Machine first: in sharded mode it builds the per-group buckets,
+		// and client-side producers must attach to the group-0 bucket
+		// (ClientTrace), not the user's log directly.
 		m.SetTrace(spec.Trace)
+		m.FS.SetTrace(m.ClientTrace())
 	}
 	var pf *prefetch.Prefetcher
 	var ss *prefetch.ServerSide
@@ -224,7 +227,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 	case spec.Prefetch != nil:
 		pcfg := *spec.Prefetch
 		if spec.Trace != nil && pcfg.Trace == nil {
-			pcfg.Trace = spec.Trace
+			pcfg.Trace = m.ClientTrace()
 		}
 		pf = prefetch.New(m.K, pcfg)
 		res.Prefetch = pf
@@ -287,7 +290,7 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 			}
 		})
 	}
-	if err := m.K.Run(); err != nil {
+	if err := m.Run(); err != nil {
 		return nil, err
 	}
 	for i, err := range errs {
