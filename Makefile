@@ -87,6 +87,7 @@ ci: fmt vet lint build race
 	$(GO) run -race ./cmd/simcheck -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -crash -seeds 25 -parallel 4
+	$(GO) run ./cmd/experiments -quick -run ext-tournament -parallel 4
 	$(GO) run ./cmd/detgate -allocs
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/
 	$(GO) run ./cmd/benchsweep -short -o /dev/null

@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"ext-ratio", "Extension: compute-to-I/O-node ratio", ExtRatio},
 		{"ext-degraded", "Extension: degraded-mode reads under transient disk faults", ExtDegraded},
 		{"ext-crash", "Extension: I/O-node crashes, degraded reads, and online rebuild", ExtCrash},
+		{"ext-tournament", "Extension: prefetcher-policy tournament with online controller", ExtTournament},
 		{"ablation-blocksize", "Ablation: file system block size", AblationBlockSize},
 		{"ablation-depth", "Ablation: prefetch depth", AblationDepth},
 		{"ablation-copy", "Ablation: hit-path copy cost", AblationCopy},

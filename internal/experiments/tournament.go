@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/simcheck"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// tournamentFamily is one workload environment the policies race in.
+// The degraded and crash families are where aggressive prefetch is
+// actively harmful: speculative reads add load exactly where the I/O
+// path is already retrying, shedding, or reconstructing from parity.
+type tournamentFamily struct {
+	label       string
+	config      func(s Scale) machine.Config
+	recoverable bool // chaos contract: transient faults + retries, must recover
+	crashy      bool // crash contract: outages + failover, unavailable tolerated
+}
+
+func tournamentFamilies() []tournamentFamily {
+	return []tournamentFamily{
+		{label: "healthy", config: func(s Scale) machine.Config { return s.machineConfig() }},
+		{label: "degraded", recoverable: true,
+			config: func(s Scale) machine.Config { return degradedMachineConfig(s, 0.02) }},
+		{label: "crash", crashy: true,
+			config: func(s Scale) machine.Config {
+				return crashMachineConfig(s, crashCase{downtime: 400 * sim.Millisecond, member: true, gap: 2 * sim.Millisecond})
+			}},
+	}
+}
+
+// tournamentSpec builds one cell's workload: the balanced M_RECORD scan
+// with the given predictor policy and, optionally, the online controller
+// retuning Depth/MaxBuffers every 4 reads.
+func tournamentSpec(s Scale, fam tournamentFamily, policy string, controlled bool) workload.Spec {
+	pcfg := prefetch.DefaultConfig()
+	pcfg.Policy = policy
+	if controlled {
+		pcfg.Controller = prefetch.ControllerConfig{Interval: 4}
+	}
+	return workload.Spec{
+		File:         "tournament",
+		FileSize:     s.FileBytes / 4,
+		RequestSize:  64 << 10,
+		Mode:         pfs.MRecord,
+		ComputeDelay: 50 * sim.Millisecond,
+		Prefetch:     &pcfg,
+		// Crash cells tolerate deterministically-unavailable reads, like
+		// every crash-family workload in the repository.
+		ContinueOnUnavailable: fam.crashy,
+	}
+}
+
+// ExtTournament races every registered prefetch policy, with and without
+// the online controller, across the healthy, degraded, and crash
+// families. Beyond the table it enforces two promises in-line: the
+// controller must demonstrably move Depth mid-run on at least one cell,
+// and a simcheck twin of the hybrid+controller cell in every family must
+// pass its full oracle set (determinism, conservation with the registry
+// attribution cross-foot, data correctness against the prefetch-off twin
+// for the healthy/degraded families, the crash oracle for the crash
+// family) — the proof that adaptive speculation never bends the
+// simulation's invariants.
+func ExtTournament(s Scale) (*stats.Table, error) {
+	t := stats.NewTable(
+		"Extension: prefetcher tournament — policy x controller across workload families (64KB requests, 50ms compute)",
+		"Family", "Policy", "Ctl", "MB/s", "Hit rate", "Issued", "Wasted", "Unread",
+		"Retunes", "Depth", "Bufs")
+
+	fams := tournamentFamilies()
+	policies := prefetch.Policies()
+	cells := len(fams) * len(policies) * 2
+	results, err := runCells(s, cells, func(i int) (*workload.Result, error) {
+		fam := fams[i/(len(policies)*2)]
+		policy := policies[(i/2)%len(policies)]
+		controlled := i%2 == 1
+		res, err := workload.Run(fam.config(s), tournamentSpec(s, fam, policy, controlled))
+		if err != nil {
+			return nil, fmt.Errorf("ext-tournament %s/%s/ctl=%v: %w", fam.label, policy, controlled, err)
+		}
+		if res.Fault.GiveUps != 0 {
+			return nil, fmt.Errorf("ext-tournament %s/%s/ctl=%v: %d retry budget(s) exhausted",
+				fam.label, policy, controlled, res.Fault.GiveUps)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var depthMoved bool
+	for i, res := range results {
+		fam := fams[i/(len(policies)*2)]
+		policy := policies[(i/2)%len(policies)]
+		controlled := i%2 == 1
+		p := res.Prefetch
+		depth, bufs, _ := p.Tuning()
+		dm, _ := p.ControllerMoves()
+		if dm > 0 {
+			depthMoved = true
+		}
+		ctl := "off"
+		if controlled {
+			ctl = "on"
+		}
+		t.AddRow(fam.label, policy, ctl, res.Bandwidth, p.HitRate(),
+			p.Issued, p.Wasted, p.UnreadAtClose, p.Retunes, depth, bufs)
+	}
+	if !depthMoved {
+		return nil, fmt.Errorf("ext-tournament: no controller-armed cell moved Depth mid-run; the controller is inert")
+	}
+
+	// Simcheck twin: the hybrid+controller cell of every family, under
+	// the full oracle set for its fault class.
+	for _, fam := range fams {
+		spec := tournamentSpec(s, fam, "hybrid", true)
+		spec.RecordDeliveries = true
+		sc := simcheck.Scenario{
+			Seed:        1,
+			Cfg:         fam.config(s),
+			Spec:        spec,
+			Recoverable: fam.recoverable,
+			Crashy:      fam.crashy,
+		}
+		var rep simcheck.Report
+		if fam.crashy {
+			rep = simcheck.CheckCrashScenario(sc)
+		} else {
+			rep = simcheck.CheckScenario(sc)
+		}
+		if !rep.OK() {
+			var details []string
+			for _, f := range rep.Failures {
+				details = append(details, fmt.Sprintf("%s: %s", f.Oracle, f.Detail))
+			}
+			return nil, fmt.Errorf("ext-tournament: simcheck twin failed for %s family:\n  %s",
+				fam.label, strings.Join(details, "\n  "))
+		}
+	}
+	return t, nil
+}

@@ -22,6 +22,13 @@ func TestConfigRoundTrip(t *testing.T) {
 	orig.Rebuild = disk.RebuildPolicy{Chunk: 128 << 10, Gap: 5 * sim.Millisecond}
 	orig.NoParity = true
 	orig.Shards = 4 // engine selection must survive the round trip too
+	// Same for the prefetcher-zoo knobs: every controller field non-zero.
+	orig.Prefetch = PrefetchOptions{
+		Policy: "hybrid",
+		Controller: PrefetchController{Interval: 8, MinDepth: 1, MaxDepth: 6,
+			MinBuffers: 2, MaxBuffers: 24, Step: 2,
+			LowHit: 0.25, HighHit: 0.75, ServiceSlack: 3},
+	}
 	if err := SaveConfig(path, orig); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,6 @@
 package prefetch
 
-// White-box regression tests for three accounting bugs:
+// White-box regression tests for five accounting bugs:
 //
 //  1. issue() charged Skipped once per cap encounter instead of once per
 //     suppressed span, so the counter undercounted lost read-ahead
@@ -11,7 +11,13 @@ package prefetch
 //     reads);
 //  3. the adaptive state used lastEnd > 0 as "a read has completed" and
 //     one shared sample counter for both averages, so the service EWMA's
-//     weighting was driven by the gap count.
+//     weighting was driven by the gap count;
+//  4. HitRate() omitted Fallbacks from the denominator, so a run that
+//     fell back often reported a rosier rate than its reads saw;
+//  5. OnClose() never recycled the entries still on a closed file's
+//     list, leaking every close-time buffer from the pool — and it
+//     counted an entry whose fill was still in flight as Wasted, the
+//     same bucket as a completed-but-unread buffer.
 
 import (
 	"testing"
@@ -154,5 +160,86 @@ func TestSkippedCountsEverySuppressedSpan(t *testing.T) {
 	}
 	if pf.Skipped != 6 {
 		t.Fatalf("Skipped = %d, want 6 (every span the cap suppressed)", pf.Skipped)
+	}
+}
+
+// TestHitRateIncludesFallbacks: a fallback is a read the buffers did not
+// serve, so it belongs in the denominator with the misses.
+func TestHitRateIncludesFallbacks(t *testing.T) {
+	pf := &Prefetcher{Hits: 2, HitsInWait: 1, Misses: 1, Fallbacks: 4}
+	if got, want := pf.HitRate(), 3.0/8.0; got != want {
+		t.Fatalf("HitRate() = %v, want %v (fallbacks in the denominator)", got, want)
+	}
+	if (&Prefetcher{}).HitRate() != 0 {
+		t.Fatal("HitRate() with no reads should be 0")
+	}
+}
+
+// closeAfter runs one read against a Depth-1 prefetcher and closes the
+// file after the given settle time, returning the prefetcher for
+// close-time accounting checks.
+func closeAfter(t *testing.T, settle sim.Time) *Prefetcher {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	pf := New(m.K, DefaultConfig())
+	m.K.Go("reader", func(p *sim.Proc) {
+		f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pf.Attach(f)
+		if _, err := f.Read(p, 64<<10); err != nil {
+			t.Error(err)
+			return
+		}
+		if settle > 0 {
+			p.Sleep(settle)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Issued != 1 {
+		t.Fatalf("Issued = %d, want 1 (Depth-1 read-ahead)", pf.Issued)
+	}
+	return pf
+}
+
+// TestOnCloseRecyclesCompletedEntries: a buffer whose fill completed but
+// was never consumed is Wasted at close, and its entry must return to
+// the pool instead of leaking.
+func TestOnCloseRecyclesCompletedEntries(t *testing.T) {
+	pf := closeAfter(t, sim.Second) // fill long since complete
+	if pf.Wasted != 1 || pf.UnreadAtClose != 0 {
+		t.Fatalf("Wasted/UnreadAtClose = %d/%d, want 1/0", pf.Wasted, pf.UnreadAtClose)
+	}
+	if len(pf.free) != 1 {
+		t.Fatalf("entry pool holds %d after close, want 1 (closed entry recycled)", len(pf.free))
+	}
+}
+
+// TestOnCloseCountsInFlightAsUnread: closing while the fill is still in
+// flight is a different outcome — the buffer never became usable. It
+// must be counted as UnreadAtClose, not Wasted, and its entry must NOT
+// be pooled (its Async has not fired; reusing it would tear the wing off
+// a flying request).
+func TestOnCloseCountsInFlightAsUnread(t *testing.T) {
+	pf := closeAfter(t, 0) // close immediately: the fill is airborne
+	if pf.Wasted != 0 || pf.UnreadAtClose != 1 {
+		t.Fatalf("Wasted/UnreadAtClose = %d/%d, want 0/1", pf.Wasted, pf.UnreadAtClose)
+	}
+	if len(pf.free) != 0 {
+		t.Fatalf("entry pool holds %d after close, want 0 (in-flight entry must not recycle)", len(pf.free))
 	}
 }

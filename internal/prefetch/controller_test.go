@@ -1,0 +1,118 @@
+package prefetch
+
+// White-box tests for the online parameter controller: decideTune's
+// bounds (the knobs never leave [Min, Max] and never move more than Step
+// per decision) and the window bookkeeping that feeds it.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDecideTuneBounds(t *testing.T) {
+	c := ControllerConfig{Interval: 4}.withDefaults() // 1..8 depth, 2..32 bufs, step 1
+	cases := []struct {
+		name          string
+		depth, bufs   int
+		hit, svc, bas float64
+		wantD, wantB  int
+	}{
+		{"high hit grows", 3, 4, 0.9, 0, 0, 4, 5},
+		{"low hit shrinks", 3, 4, 0.1, 0, 0, 2, 3},
+		{"mid hit holds depth", 3, 4, 0.5, 0, 0, 3, 4},
+		{"grow clamps at MaxDepth", 8, 9, 1.0, 0, 0, 8, 9},
+		{"shrink clamps at MinDepth", 1, 2, 0.0, 0, 0, 1, 2},
+		{"bufs step toward target from below", 4, 2, 0.5, 0, 0, 4, 3},
+		{"bufs step toward target from above", 2, 16, 0.5, 0, 0, 2, 15},
+		{"slow service overrides high hit", 3, 4, 0.9, 1.0, 0.1, 2, 3},
+		{"service within slack defers to hit", 3, 4, 0.9, 0.2, 0.1, 4, 5},
+	}
+	for _, tc := range cases {
+		d, b := decideTune(tc.depth, tc.bufs, tc.hit, tc.svc, tc.bas, c)
+		if d != tc.wantD || b != tc.wantB {
+			t.Errorf("%s: decideTune(%d, %d, %v, %v, %v) = (%d, %d), want (%d, %d)",
+				tc.name, tc.depth, tc.bufs, tc.hit, tc.svc, tc.bas, d, b, tc.wantD, tc.wantB)
+		}
+		if d < c.MinDepth || d > c.MaxDepth {
+			t.Errorf("%s: depth %d left [%d, %d]", tc.name, d, c.MinDepth, c.MaxDepth)
+		}
+		if b < c.MinBuffers || b > c.MaxBuffers {
+			t.Errorf("%s: bufs %d left [%d, %d]", tc.name, b, c.MinBuffers, c.MaxBuffers)
+		}
+		if dd := d - tc.depth; dd > c.Step || dd < -c.Step {
+			t.Errorf("%s: depth moved %d, more than Step %d", tc.name, dd, c.Step)
+		}
+		if db := b - tc.bufs; db > c.Step || db < -c.Step {
+			t.Errorf("%s: bufs moved %d, more than Step %d", tc.name, db, c.Step)
+		}
+	}
+}
+
+// TestDecideTuneNeverEscapesBounds sweeps every in-range state against
+// every decision direction: the knobs must stay inside their boxes no
+// matter what the window measured.
+func TestDecideTuneNeverEscapesBounds(t *testing.T) {
+	c := ControllerConfig{Interval: 1, MinDepth: 2, MaxDepth: 5, MinBuffers: 3, MaxBuffers: 6, Step: 2}.withDefaults()
+	for depth := c.MinDepth; depth <= c.MaxDepth; depth++ {
+		for bufs := c.MinBuffers; bufs <= c.MaxBuffers; bufs++ {
+			for _, hit := range []float64{0, 0.5, 1} {
+				for _, svc := range []float64{0, 0.1, 10} {
+					d, b := decideTune(depth, bufs, hit, svc, 0.1, c)
+					if d < c.MinDepth || d > c.MaxDepth || b < c.MinBuffers || b > c.MaxBuffers {
+						t.Fatalf("decideTune(%d, %d, %v, %v) escaped to (%d, %d)", depth, bufs, hit, svc, d, b)
+					}
+					if dd, db := d-depth, b-bufs; dd > c.Step || dd < -c.Step || db > c.Step || db < -c.Step {
+						t.Fatalf("decideTune(%d, %d, %v, %v) jumped to (%d, %d), more than Step %d",
+							depth, bufs, hit, svc, d, b, c.Step)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestControllerWindowDiscipline checks the window plumbing: no decision
+// before Interval reads, counter reset at the boundary, first-window
+// service calibration, and the move counters.
+func TestControllerWindowDiscipline(t *testing.T) {
+	ct := &controller{cfg: ControllerConfig{Interval: 4}.withDefaults()}
+	for i := 0; i < 3; i++ {
+		ct.observe(true, false, 0)
+		if _, _, changed := ct.window(1, 2); changed {
+			t.Fatalf("decision after only %d reads (interval 4)", i+1)
+		}
+	}
+	// Fourth read closes the window: all hits, so depth grows 1 -> 2 and
+	// bufs follow toward depth+1.
+	ct.observe(true, false, 0)
+	d, b, changed := ct.window(1, 2)
+	if !changed || d != 2 || b != 3 {
+		t.Fatalf("first window: (%d, %d, %v), want (2, 3, true)", d, b, changed)
+	}
+	if ct.reads != 0 || ct.hits != 0 || ct.directN != 0 || ct.directTime != 0 {
+		t.Fatalf("window counters not reset: %+v", ct)
+	}
+	if ct.depthMoves != 1 || ct.bufMoves != 1 {
+		t.Fatalf("move counters = %d/%d, want 1/1", ct.depthMoves, ct.bufMoves)
+	}
+	if ct.haveBase {
+		t.Fatal("base calibrated from a window with no direct reads")
+	}
+	// A window with direct reads calibrates the base exactly once.
+	for i := 0; i < 4; i++ {
+		ct.observe(false, true, 100)
+	}
+	ct.window(2, 3)
+	if !ct.haveBase || ct.base != sim.Time(100).Seconds() {
+		t.Fatalf("base = %v (haveBase %v), want first window's average", ct.base, ct.haveBase)
+	}
+	first := ct.base
+	for i := 0; i < 4; i++ {
+		ct.observe(false, true, 500)
+	}
+	ct.window(2, 3)
+	if ct.base != first {
+		t.Fatalf("base recalibrated: %v -> %v", first, ct.base)
+	}
+}

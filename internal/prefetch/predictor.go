@@ -15,9 +15,13 @@ type Span struct {
 type Predictor interface {
 	// Observe is called after each user read completes.
 	Observe(f *pfs.File, off, n int64)
-	// Predict returns up to depth spans expected to be read next, given
-	// the read at [off, off+n) just completed. Fewer (or none) is fine.
-	Predict(f *pfs.File, off, n int64, depth int) []Span
+	// Predict appends up to depth spans expected to be read next, given
+	// the read at [off, off+n) just completed, and returns the extended
+	// slice. Fewer (or none) is fine. Appending into the caller's scratch
+	// keeps the issue path — and the registry's shadow predictions, which
+	// run every predictor on every read — allocation-free in steady
+	// state.
+	Predict(f *pfs.File, off, n int64, depth int, dst []Span) []Span
 	// Forget drops any per-file state (called at close).
 	Forget(f *pfs.File)
 }
@@ -31,8 +35,7 @@ type ModePredictor struct{}
 func (ModePredictor) Observe(*pfs.File, int64, int64) {}
 
 // Predict chains NextRecordOffset depth times.
-func (ModePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
-	var out []Span
+func (ModePredictor) Predict(f *pfs.File, off, n int64, depth int, dst []Span) []Span {
 	next := f.NextRecordOffset(off, n)
 	for d := 0; d < depth; d++ {
 		if next < 0 || next >= f.Size() {
@@ -42,10 +45,10 @@ func (ModePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
 		if next+take > f.Size() {
 			take = f.Size() - next
 		}
-		out = append(out, Span{Off: next, N: take})
+		dst = append(dst, Span{Off: next, N: take})
 		next = f.NextRecordOffset(next, take)
 	}
-	return out
+	return dst
 }
 
 // Forget is a no-op.
@@ -59,9 +62,8 @@ type SequentialPredictor struct{}
 // Observe is a no-op.
 func (SequentialPredictor) Observe(*pfs.File, int64, int64) {}
 
-// Predict returns the next depth request-sized extents.
-func (SequentialPredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
-	var out []Span
+// Predict appends the next depth request-sized extents.
+func (SequentialPredictor) Predict(f *pfs.File, off, n int64, depth int, dst []Span) []Span {
 	next := off + n
 	for d := 0; d < depth; d++ {
 		if next >= f.Size() {
@@ -71,10 +73,10 @@ func (SequentialPredictor) Predict(f *pfs.File, off, n int64, depth int) []Span 
 		if next+take > f.Size() {
 			take = f.Size() - next
 		}
-		out = append(out, Span{Off: next, N: take})
+		dst = append(dst, Span{Off: next, N: take})
 		next += take
 	}
-	return out
+	return dst
 }
 
 // Forget is a no-op.
@@ -105,12 +107,16 @@ type strideState struct {
 // strides (minimum 1).
 func NewStridePredictor(confirm int) *StridePredictor {
 	if confirm < 1 {
-		confirm = 2
+		confirm = 1
 	}
 	return &StridePredictor{Confirm: confirm, state: make(map[*pfs.File]*strideState)}
 }
 
-// Observe folds one read into the stride estimate.
+// Observe folds one read into the stride estimate. A repeat of the
+// current stride extends the confirmation count only when the stride is
+// at least as long as the previous read — a shorter stride means the
+// reads overlap, and extrapolating an overlapping sequence would prefetch
+// bytes the reader largely already has.
 func (sp *StridePredictor) Observe(f *pfs.File, off, n int64) {
 	st, ok := sp.state[f]
 	if !ok {
@@ -119,9 +125,13 @@ func (sp *StridePredictor) Observe(f *pfs.File, off, n int64) {
 	}
 	if st.haveLast {
 		s := off - st.lastOff
-		if s == st.stride && s != 0 {
+		switch {
+		case s == st.stride && s != 0 && abs64(s) >= st.lastN:
 			st.seen++
-		} else {
+		case s == st.stride && s != 0:
+			// Same stride, but overlapping the previous read: keep the
+			// estimate without confirming it further.
+		default:
 			st.stride = s
 			st.seen = 1
 		}
@@ -129,13 +139,20 @@ func (sp *StridePredictor) Observe(f *pfs.File, off, n int64) {
 	st.lastOff, st.lastN, st.haveLast = off, n, true
 }
 
+// abs64 is the absolute value of a stride.
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Predict extrapolates the confirmed stride.
-func (sp *StridePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span {
+func (sp *StridePredictor) Predict(f *pfs.File, off, n int64, depth int, dst []Span) []Span {
 	st, ok := sp.state[f]
 	if !ok || st.seen < sp.Confirm || st.stride == 0 {
-		return nil
+		return dst
 	}
-	var out []Span
 	next := off + st.stride
 	for d := 0; d < depth; d++ {
 		if next < 0 || next >= f.Size() {
@@ -145,10 +162,10 @@ func (sp *StridePredictor) Predict(f *pfs.File, off, n int64, depth int) []Span 
 		if next+take > f.Size() {
 			take = f.Size() - next
 		}
-		out = append(out, Span{Off: next, N: take})
+		dst = append(dst, Span{Off: next, N: take})
 		next += st.stride
 	}
-	return out
+	return dst
 }
 
 // Forget drops the file's history.

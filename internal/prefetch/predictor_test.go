@@ -28,7 +28,7 @@ func openOne(t *testing.T, size int64) *pfs.File {
 func TestSequentialPredictor(t *testing.T) {
 	f := openOne(t, 256<<10)
 	var p prefetch.SequentialPredictor
-	spans := p.Predict(f, 0, 64<<10, 3)
+	spans := p.Predict(f, 0, 64<<10, 3, nil)
 	want := []prefetch.Span{{64 << 10, 64 << 10}, {128 << 10, 64 << 10}, {192 << 10, 64 << 10}}
 	if len(spans) != len(want) {
 		t.Fatalf("spans = %v", spans)
@@ -39,12 +39,12 @@ func TestSequentialPredictor(t *testing.T) {
 		}
 	}
 	// Clipped at EOF.
-	spans = p.Predict(f, 192<<10, 64<<10, 3)
+	spans = p.Predict(f, 192<<10, 64<<10, 3, nil)
 	if len(spans) != 0 {
 		t.Fatalf("prediction past EOF: %v", spans)
 	}
 	// Partial final span.
-	spans = p.Predict(f, 128<<10, 96<<10, 3)
+	spans = p.Predict(f, 128<<10, 96<<10, 3, nil)
 	if len(spans) != 1 || spans[0] != (prefetch.Span{224 << 10, 32 << 10}) {
 		t.Fatalf("partial tail span = %v", spans)
 	}
@@ -55,30 +55,30 @@ func TestStridePredictorDetectsAndAdapts(t *testing.T) {
 	sp := prefetch.NewStridePredictor(2)
 	const rec = 64 << 10
 	// No history: silent.
-	if spans := sp.Predict(f, 0, rec, 2); spans != nil {
+	if spans := sp.Predict(f, 0, rec, 2, nil); spans != nil {
 		t.Fatalf("prediction with no history: %v", spans)
 	}
 	// Stride of 4 records: 0, 256K, 512K — two equal strides confirm.
 	sp.Observe(f, 0, rec)
 	sp.Observe(f, 4*rec, rec)
-	if spans := sp.Predict(f, 4*rec, rec, 1); spans != nil {
+	if spans := sp.Predict(f, 4*rec, rec, 1, nil); spans != nil {
 		t.Fatalf("prediction after one stride: %v", spans)
 	}
 	sp.Observe(f, 8*rec, rec)
-	spans := sp.Predict(f, 8*rec, rec, 2)
+	spans := sp.Predict(f, 8*rec, rec, 2, nil)
 	if len(spans) != 2 || spans[0].Off != 12*rec || spans[1].Off != 16*rec {
 		t.Fatalf("stride prediction = %v", spans)
 	}
 	// Pattern break: confidence resets.
 	sp.Observe(f, 5*rec, rec)
-	if spans := sp.Predict(f, 5*rec, rec, 1); spans != nil {
+	if spans := sp.Predict(f, 5*rec, rec, 1, nil); spans != nil {
 		t.Fatalf("prediction after break: %v", spans)
 	}
 	// Forget drops state entirely.
 	sp.Observe(f, 6*rec, rec)
 	sp.Observe(f, 7*rec, rec)
 	sp.Forget(f)
-	if spans := sp.Predict(f, 7*rec, rec, 1); spans != nil {
+	if spans := sp.Predict(f, 7*rec, rec, 1, nil); spans != nil {
 		t.Fatalf("prediction after Forget: %v", spans)
 	}
 }
@@ -90,7 +90,7 @@ func TestStridePredictorNegativeStride(t *testing.T) {
 	sp.Observe(f, 20*rec, rec)
 	sp.Observe(f, 16*rec, rec)
 	sp.Observe(f, 12*rec, rec)
-	spans := sp.Predict(f, 12*rec, rec, 2)
+	spans := sp.Predict(f, 12*rec, rec, 2, nil)
 	if len(spans) != 2 || spans[0].Off != 8*rec || spans[1].Off != 4*rec {
 		t.Fatalf("backward stride prediction = %v", spans)
 	}
@@ -133,6 +133,52 @@ func TestStridePredictorRescuesStridedWorkload(t *testing.T) {
 	if strideRes.Bandwidth <= modeRes.Bandwidth {
 		t.Fatalf("stride predictor BW %.2f not above mode predictor %.2f",
 			strideRes.Bandwidth, modeRes.Bandwidth)
+	}
+}
+
+// TestStrideConfirmFloorIsOne: the documented minimum confirmation count
+// is 1, but the constructor used to floor at 2, so the most eager
+// configuration was silently unreachable.
+func TestStrideConfirmFloorIsOne(t *testing.T) {
+	sp := prefetch.NewStridePredictor(0)
+	if sp.Confirm != 1 {
+		t.Fatalf("NewStridePredictor(0).Confirm = %d, want the documented minimum 1", sp.Confirm)
+	}
+	// Behaviourally: with Confirm 1, a single observed stride predicts.
+	f := openOne(t, 4<<20)
+	const rec = 64 << 10
+	sp.Observe(f, 0, rec)
+	sp.Observe(f, 4*rec, rec)
+	spans := sp.Predict(f, 4*rec, rec, 1, nil)
+	if len(spans) != 1 || spans[0].Off != 8*rec {
+		t.Fatalf("Confirm=1 prediction after one stride = %v, want [{%d %d}]", spans, 8*rec, rec)
+	}
+}
+
+// TestStrideOverlapDoesNotConfirm: a repeated stride shorter than the
+// previous read means the reads overlap — extrapolating would prefetch
+// bytes the reader mostly has. The detector used to confirm on the raw
+// stride repeat alone.
+func TestStrideOverlapDoesNotConfirm(t *testing.T) {
+	f := openOne(t, 4<<20)
+	sp := prefetch.NewStridePredictor(2)
+	const rec = 64 << 10
+	// 64K reads advancing 32K at a time: stride repeats, but every read
+	// overlaps half the previous one.
+	sp.Observe(f, 0, rec)
+	sp.Observe(f, rec/2, rec)
+	sp.Observe(f, rec, rec)
+	sp.Observe(f, 3*rec/2, rec)
+	if spans := sp.Predict(f, 3*rec/2, rec, 1, nil); spans != nil {
+		t.Fatalf("overlapping stride confirmed: predicted %v", spans)
+	}
+	// Non-overlapping reads at the same spacing confirm as before.
+	sp2 := prefetch.NewStridePredictor(2)
+	sp2.Observe(f, 0, rec/2)
+	sp2.Observe(f, rec/2, rec/2)
+	sp2.Observe(f, rec, rec/2)
+	if spans := sp2.Predict(f, rec, rec/2, 1, nil); len(spans) != 1 || spans[0].Off != 3*rec/2 {
+		t.Fatalf("back-to-back stride did not confirm: %v", spans)
 	}
 }
 

@@ -20,6 +20,12 @@
 //     be tremendous";
 //   - the file pointer is never moved by prefetching, and all buffers are
 //     freed when the file is closed.
+//
+// Beyond the prototype, the package carries the prefetcher zoo (a
+// registry of competing predictors with per-stream accuracy grading and
+// a hybrid that races them; see registry.go) and an online controller
+// that retunes Depth and MaxBuffers mid-run from the observed hit rate
+// and direct-read service time (controller.go).
 package prefetch
 
 import (
@@ -38,9 +44,17 @@ type Config struct {
 	MaxBuffers    int        // retained + in-flight buffers per open file
 	FreeCopy      bool       // ablation: make the hit-path copy free
 	Trace         *trace.Log // optional timeline of prefetch decisions
-	// Predictor chooses what to read ahead; nil selects the prototype's
+	// Predictor chooses what to read ahead; nil selects the predictor
+	// Policy names — and with Policy also empty, the prototype's
 	// mode-derived next-record policy (ModePredictor).
-	Predictor Predictor
+	Predictor Predictor `json:"-"`
+	// Policy selects a predictor by name when Predictor is nil: "mode",
+	// "sequential", "stride", or "hybrid" (see NewPolicy). A name
+	// survives a JSON round-trip, which an interface value cannot.
+	Policy string
+	// Controller, when its Interval is non-zero, arms the online
+	// parameter controller that retunes Depth and MaxBuffers mid-run.
+	Controller ControllerConfig
 	// Adaptive throttles the prototype: read-ahead is issued only when
 	// the application's observed compute window (the gap between its
 	// reads) is long enough for a prefetch to make headway. Removes the
@@ -70,6 +84,7 @@ type entry struct {
 	req    *pfs.Async
 	pf     *Prefetcher
 	f      *pfs.File
+	src    int // registry source whose advice issued this buffer; -1 untracked
 }
 
 // entryFillDone runs at the firing instant of an entry's prefetch
@@ -92,20 +107,25 @@ type Prefetcher struct {
 	lists map[*pfs.File][]*entry
 	adapt map[*pfs.File]*adaptState
 	free  []*entry // entry pool; each keeps its Async for reuse
+	spans []Span   // prediction scratch, reused across issues
+	track tracker  // non-nil when the predictor wants outcome attribution
+	ctl   *controller
 
 	// Measurements.
-	Issued      int64           // prefetch requests queued on the ART
-	Hits        int64           // reads served entirely from a completed buffer
-	HitsInWait  int64           // reads that waited on an in-flight prefetch
-	Misses      int64           // reads with no matching buffer
-	Wasted      int64           // buffers freed unused at close
-	Skipped     int64           // prefetches suppressed by the buffer cap
-	Retired     int64           // failed prefetches whose buffer slot was reclaimed
-	Fallbacks   int64           // failed prefetches retried as direct reads
-	Throttled   int64           // issues suppressed by the adaptive policy
-	BytesCopied int64           // bytes delivered from prefetch buffers (hit-path copies)
-	BytesDirect int64           // bytes delivered by direct reads (misses + fallbacks)
-	WaitTime    stats.Histogram // time spent waiting on in-flight prefetches, seconds
+	Issued        int64           // prefetch requests queued on the ART
+	Hits          int64           // reads served entirely from a completed buffer
+	HitsInWait    int64           // reads that waited on an in-flight prefetch
+	Misses        int64           // reads with no matching buffer
+	Wasted        int64           // completed buffers freed unused at close
+	UnreadAtClose int64           // buffers still in flight when their file closed
+	Skipped       int64           // prefetches suppressed by the buffer cap
+	Retired       int64           // failed prefetches whose buffer slot was reclaimed
+	Fallbacks     int64           // failed prefetches retried as direct reads
+	Throttled     int64           // issues suppressed by the adaptive policy
+	Retunes       int64           // controller decisions that moved Depth or MaxBuffers
+	BytesCopied   int64           // bytes delivered from prefetch buffers (hit-path copies)
+	BytesDirect   int64           // bytes delivered by direct reads (misses + fallbacks)
+	WaitTime      stats.Histogram // time spent waiting on in-flight prefetches, seconds
 }
 
 // adaptState is the adaptive policy's per-file picture of the
@@ -128,7 +148,8 @@ const adaptAlpha = 0.3 // EWMA weight for new observations
 var _ pfs.PrefetchService = (*Prefetcher)(nil)
 
 // New returns a Prefetcher on kernel k. Depth and MaxBuffers must be
-// positive; MemBandwidth must be positive unless FreeCopy is set.
+// positive; MemBandwidth must be positive unless FreeCopy is set; Policy,
+// if set, must name a known predictor.
 func New(k *sim.Kernel, cfg Config) *Prefetcher {
 	if cfg.Depth <= 0 {
 		panic("prefetch: depth must be positive")
@@ -140,14 +161,23 @@ func New(k *sim.Kernel, cfg Config) *Prefetcher {
 		panic("prefetch: memory bandwidth must be positive")
 	}
 	if cfg.Predictor == nil {
-		cfg.Predictor = ModePredictor{}
+		pred, err := NewPolicy(cfg.Policy)
+		if err != nil {
+			panic(err.Error())
+		}
+		cfg.Predictor = pred
 	}
-	return &Prefetcher{
+	pf := &Prefetcher{
 		k:     k,
 		cfg:   cfg,
 		lists: make(map[*pfs.File][]*entry),
 		adapt: make(map[*pfs.File]*adaptState),
 	}
+	pf.track, _ = cfg.Predictor.(tracker)
+	if cfg.Controller.Enabled() {
+		pf.ctl = &controller{cfg: cfg.Controller.withDefaults()}
+	}
+	return pf
 }
 
 // Attach installs the prefetcher on an open file. Shorthand for
@@ -169,7 +199,12 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			st.gapSamples++
 		}
 	}
-	var err error
+	var (
+		err       error
+		hitServed bool     // bytes came out of a prefetch buffer
+		direct    bool     // bytes came from a measured direct read
+		service   sim.Time // the direct read's service time
+	)
 	if e, _ := pf.lookup(f, off, n); e != nil {
 		waited := false
 		if !e.req.Done.Fired() {
@@ -187,10 +222,12 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			// inherit a speculative request's error. Fall back to the
 			// normal Fast Path read.
 			pf.Fallbacks++
+			ioStart := p.Now()
 			err = f.BlockingIO(p, off, n)
 			if err == nil {
 				f.RecordDelivery(off, n)
 				pf.BytesDirect += n
+				direct, service = true, p.Now()-ioStart
 			}
 		case waited:
 			pf.HitsInWait++
@@ -206,6 +243,10 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 			// visible to the data-correctness oracle.
 			f.RecordDelivery(e.off, n)
 			pf.BytesCopied += n
+			hitServed = true
+			if pf.track != nil {
+				pf.track.noteConsumed(f, e.src)
+			}
 			if !pf.cfg.FreeCopy {
 				// Prefetch buffer -> user buffer copy; Fast Path avoids this.
 				p.Sleep(sim.Time(float64(n) / pf.cfg.MemBandwidth * float64(sim.Second)))
@@ -223,8 +264,9 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 		if err == nil {
 			f.RecordDelivery(off, n)
 			pf.BytesDirect += n
+			direct, service = true, p.Now()-ioStart
 			if st != nil {
-				st.serviceEWMA = ewma(st.serviceEWMA, (p.Now() - ioStart).Seconds(), st.serviceSamples)
+				st.serviceEWMA = ewma(st.serviceEWMA, service.Seconds(), st.serviceSamples)
 				st.serviceSamples++
 			}
 		}
@@ -241,6 +283,16 @@ func (pf *Prefetcher) ServeRead(p *sim.Proc, f *pfs.File, off, n int64) error {
 	if st != nil {
 		st.lastEnd = p.Now()
 		st.seen = true
+	}
+	if pf.ctl != nil {
+		pf.ctl.observe(hitServed, direct, service)
+		if nd, nb, changed := pf.ctl.window(pf.cfg.Depth, pf.cfg.MaxBuffers); changed {
+			// The retuned knobs take effect at the next read's issue; the
+			// timeline records the decision (Off = new depth, N = new cap).
+			pf.cfg.Depth, pf.cfg.MaxBuffers = nd, nb
+			pf.Retunes++
+			pf.emit(p, trace.PrefetchRetune, f, int64(nd), int64(nb))
+		}
 	}
 	return nil
 }
@@ -266,9 +318,30 @@ func ewma(cur, obs float64, samples int) float64 {
 	return (1-adaptAlpha)*cur + adaptAlpha*obs
 }
 
-// OnClose frees the file's prefetch buffers, counting unconsumed ones.
+// OnClose frees the file's prefetch buffers. A completed buffer still on
+// the list is an unconsumed successful fill (a failed fill was retired —
+// removed and recycled — at its firing instant), so its outcome is fully
+// determined and the entry recycles into the pool as Wasted. An in-flight
+// buffer must NOT be recycled: its Async has not fired, and the pool
+// could hand the entry to a new issue while the old request still owns
+// its signal. Those entries are counted as UnreadAtClose and left to the
+// garbage collector; their pending entryFillDone no-ops either way once
+// the list is gone (retire's removeEntry finds nothing).
 func (pf *Prefetcher) OnClose(f *pfs.File) {
-	pf.Wasted += int64(len(pf.lists[f]))
+	for _, e := range pf.lists[f] {
+		if e.req.Done.Fired() {
+			pf.Wasted++
+			if pf.track != nil {
+				pf.track.noteWasted(f, e.src)
+			}
+			pf.putEntry(e)
+		} else {
+			pf.UnreadAtClose++
+			if pf.track != nil {
+				pf.track.noteUnread(f, e.src)
+			}
+		}
+	}
 	delete(pf.lists, f)
 	delete(pf.adapt, f)
 	pf.cfg.Predictor.Forget(f)
@@ -337,7 +410,14 @@ func (pf *Prefetcher) retire(f *pfs.File, e *entry) {
 // the prediction is derived from the read request itself (offset, size,
 // mode, rank), as in the prototype.
 func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
-	for _, span := range pf.cfg.Predictor.Predict(f, off, n, pf.cfg.Depth) {
+	src := -1
+	if pf.track != nil {
+		// The selection is a pure function of the registry's counters, so
+		// this is the same source Predict forwards to below.
+		src = pf.track.selectedSource(f)
+	}
+	pf.spans = pf.cfg.Predictor.Predict(f, off, n, pf.cfg.Depth, pf.spans[:0])
+	for _, span := range pf.spans {
 		if pf.covered(f, span.Off) {
 			continue
 		}
@@ -353,11 +433,14 @@ func (pf *Prefetcher) issue(p *sim.Proc, f *pfs.File, off, n int64) {
 		// asynchronous request.
 		p.Sleep(pf.cfg.IssueOverhead)
 		e := pf.getEntry()
-		e.off, e.n, e.f = span.Off, span.N, f
+		e.off, e.n, e.f, e.src = span.Off, span.N, f, src
 		e.req = f.IReadAtReusing(e.req, span.Off, span.N)
 		pf.lists[f] = append(pf.lists[f], e)
 		e.req.Done.OnFireCall(entryFillDone, e)
 		pf.Issued++
+		if pf.track != nil {
+			pf.track.noteIssued(f, src)
+		}
 		pf.emit(p, trace.PrefetchIssue, f, span.Off, span.N)
 	}
 }
@@ -382,9 +465,36 @@ func (pf *Prefetcher) covered(f *pfs.File, off int64) bool {
 // Outstanding reports the number of buffers currently held for f.
 func (pf *Prefetcher) Outstanding(f *pfs.File) int { return len(pf.lists[f]) }
 
+// Zoo returns the predictor registry when the configured policy carries
+// one (the hybrid), nil otherwise.
+func (pf *Prefetcher) Zoo() *Registry {
+	if h, ok := pf.cfg.Predictor.(interface{ Registry() *Registry }); ok {
+		return h.Registry()
+	}
+	return nil
+}
+
+// Tuning reports the live Depth and MaxBuffers (the controller mutates
+// them mid-run) and whether the controller is armed.
+func (pf *Prefetcher) Tuning() (depth, bufs int, controlled bool) {
+	return pf.cfg.Depth, pf.cfg.MaxBuffers, pf.ctl != nil
+}
+
+// ControllerMoves reports how many controller decisions moved Depth and
+// how many moved MaxBuffers (both zero without the controller).
+func (pf *Prefetcher) ControllerMoves() (depthMoves, bufMoves int64) {
+	if pf.ctl == nil {
+		return 0, 0
+	}
+	return pf.ctl.depthMoves, pf.ctl.bufMoves
+}
+
 // HitRate reports hits (including waited hits) over all served reads.
+// Fallbacks are reads too: a read that matched a failed prefetch and was
+// served by a direct re-read was not a hit, and omitting it would
+// overstate the hit rate exactly when the I/O path is struggling.
 func (pf *Prefetcher) HitRate() float64 {
-	total := pf.Hits + pf.HitsInWait + pf.Misses
+	total := pf.Hits + pf.HitsInWait + pf.Misses + pf.Fallbacks
 	if total == 0 {
 		return 0
 	}

@@ -1,0 +1,181 @@
+package prefetch
+
+// White-box tests for the prefetcher zoo: shadow-prediction grading,
+// deterministic selection (argmax accuracy, registration-index
+// tie-break), and the attribution plumbing the conservation oracle
+// cross-foots.
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+)
+
+// openZooFile opens a file on a tiny machine just to have a *pfs.File
+// for the registry's map keys and the predictors' mode queries.
+func openZooFile(t *testing.T, size int64) *pfs.File {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.ComputeNodes = 1
+	cfg.IONodes = 4
+	cfg.UFS.Fragmentation = 0
+	m := machine.Build(cfg)
+	if err := m.FS.Create("f", size); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FS.Open("f", 0, pfs.MAsync, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSourceStatsAccuracy(t *testing.T) {
+	cases := []struct {
+		s    SourceStats
+		want float64
+	}{
+		{SourceStats{}, 0},
+		{SourceStats{Predicted: 4}, 0},
+		{SourceStats{Predicted: 4, Correct: 4}, 1},
+		{SourceStats{Predicted: 8, Correct: 6}, 0.75},
+		{SourceStats{Predicted: 3, Correct: 1}, 1.0 / 3.0},
+	}
+	for i, tc := range cases {
+		if got := tc.s.Accuracy(); got != tc.want {
+			t.Errorf("case %d: Accuracy(%+v) = %v, want %v", i, tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestRegistryGradesShadows feeds a pure sequential stream and checks the
+// exact Predicted/Correct ledgers of a sequential source and a stride
+// source. The numbers are fully determined: sequential predicts from the
+// first read (graded from the second), the stride detector needs two
+// confirmed strides before its first shadow.
+func TestRegistryGradesShadows(t *testing.T) {
+	const rec = 64 << 10
+	f := openZooFile(t, 16*rec)
+	reg := NewRegistry()
+	reg.Register("sequential", SequentialPredictor{})
+	reg.Register("stride", NewStridePredictor(2))
+
+	for i := int64(0); i < 8; i++ {
+		reg.observe(f, i*rec, rec)
+	}
+	st := reg.Stats(f)
+	if st == nil {
+		t.Fatal("no stream stats after eight reads")
+	}
+	// Sequential: one shadow per read (8), each confirmed by the next
+	// read except the last's (7).
+	if st[0].Predicted != 8 || st[0].Correct != 7 {
+		t.Errorf("sequential Predicted/Correct = %d/%d, want 8/7", st[0].Predicted, st[0].Correct)
+	}
+	// Stride: first shadow only once two equal strides are confirmed
+	// (read index 2), so 6 predictions, 5 of them graded.
+	if st[1].Predicted != 6 || st[1].Correct != 5 {
+		t.Errorf("stride Predicted/Correct = %d/%d, want 6/5", st[1].Predicted, st[1].Correct)
+	}
+}
+
+// TestRegistrySelectionPrefersAccurate walks a stride-2 stream: the
+// sequential source shadows every read and is always wrong, the stride
+// source locks on. Selection must move to the stride source as soon as
+// it has MinSamples graded shadows, and stay there.
+func TestRegistrySelectionPrefersAccurate(t *testing.T) {
+	const rec = 64 << 10
+	f := openZooFile(t, 64*rec)
+	reg := NewRegistry()
+	reg.Register("sequential", SequentialPredictor{})
+	reg.Register("stride", NewStridePredictor(2))
+
+	if got := reg.selected(f, 4); got != 0 {
+		t.Fatalf("cold-stream selection = %d, want 0 (first registered source)", got)
+	}
+	for i := int64(0); i < 8; i++ {
+		reg.observe(f, 2*i*rec, rec)
+	}
+	if got := reg.selected(f, 4); got != 1 {
+		st := reg.Stats(f)
+		t.Fatalf("selection = %d, want 1 (stride); stats %+v", got, st)
+	}
+	// An out-of-reach sample floor makes every source ineligible again.
+	if got := reg.selected(f, 100); got != 0 {
+		t.Fatalf("selection with unmet MinSamples = %d, want warm-up default 0", got)
+	}
+}
+
+// TestRegistryTieBreakIsRegistrationOrder registers the same predictor
+// type twice: their accuracies are identical at every read, so selection
+// must always return the lower registration index, on every call and on
+// an identically-fed fresh registry.
+func TestRegistryTieBreakIsRegistrationOrder(t *testing.T) {
+	const rec = 64 << 10
+	build := func(f *pfs.File) *Registry {
+		reg := NewRegistry()
+		reg.Register("a", SequentialPredictor{})
+		reg.Register("b", SequentialPredictor{})
+		for i := int64(0); i < 8; i++ {
+			reg.observe(f, i*rec, rec)
+		}
+		return reg
+	}
+	f := openZooFile(t, 16*rec)
+	reg := build(f)
+	st := reg.Stats(f)
+	if st[0].Accuracy() != st[1].Accuracy() {
+		t.Fatalf("accuracies differ (%v vs %v); tie-break not exercised",
+			st[0].Accuracy(), st[1].Accuracy())
+	}
+	for call := 0; call < 3; call++ {
+		if got := reg.selected(f, 4); got != 0 {
+			t.Fatalf("call %d: tie selection = %d, want lowest index 0", call, got)
+		}
+	}
+	f2 := openZooFile(t, 16*rec)
+	if got := build(f2).selected(f2, 4); got != 0 {
+		t.Fatalf("fresh identically-fed registry selected %d, want 0", got)
+	}
+}
+
+// TestRegistryAttributionAndTotals drives the note hooks the Prefetcher
+// uses and checks the ledgers land on the right source, survive the
+// close-time fold into Totals, and absorb post-close stragglers.
+func TestRegistryAttributionAndTotals(t *testing.T) {
+	const rec = 64 << 10
+	f := openZooFile(t, 16*rec)
+	reg := NewRegistry()
+	reg.Register("mode", ModePredictor{})
+	reg.Register("sequential", SequentialPredictor{})
+	reg.observe(f, 0, rec)
+
+	reg.note(f, 1, func(s *SourceStats) { s.Issued++ })
+	reg.note(f, 1, func(s *SourceStats) { s.Consumed++ })
+	reg.note(f, 0, func(s *SourceStats) { s.Wasted++ })
+	reg.note(f, -1, func(s *SourceStats) { s.Issued++ }) // out of range: dropped
+	reg.note(f, 2, func(s *SourceStats) { s.Issued++ })  // out of range: dropped
+
+	st := reg.Stats(f)
+	if st[1].Issued != 1 || st[1].Consumed != 1 || st[0].Wasted != 1 {
+		t.Fatalf("live-stream attribution wrong: %+v", st)
+	}
+	if tot := reg.Totals(); tot[0] != (SourceStats{}) || tot[1] != (SourceStats{}) {
+		t.Fatalf("totals non-zero before any stream closed: %+v", tot)
+	}
+
+	reg.forget(f)
+	tot := reg.Totals()
+	if tot[1].Issued != 1 || tot[1].Consumed != 1 || tot[0].Wasted != 1 {
+		t.Fatalf("totals after fold: %+v", tot)
+	}
+	if reg.Stats(f) != nil {
+		t.Fatal("stream stats survived forget")
+	}
+	// A straggler outcome for a closed stream folds into the totals.
+	reg.note(f, 1, func(s *SourceStats) { s.Unread++ })
+	if tot := reg.Totals(); tot[1].Unread != 1 {
+		t.Fatalf("post-close note lost: %+v", tot[1])
+	}
+}

@@ -1,0 +1,82 @@
+package prefetch_test
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pfs"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestHybridControllerEndToEnd drives the full zoo through workload.Run:
+// the hybrid policy with the online controller armed must retune Depth
+// mid-run, keep the registry's per-source ledgers cross-footing with the
+// prefetcher's counters, and produce a bit-identical fingerprint and
+// trace digest on a repeat run.
+func TestHybridControllerEndToEnd(t *testing.T) {
+	run := func() (*workload.Result, *trace.Log) {
+		cfg := machine.DefaultConfig()
+		cfg.ComputeNodes = 4
+		cfg.IONodes = 4
+		cfg.UFS.Fragmentation = 0
+		pcfg := prefetch.DefaultConfig()
+		pcfg.Policy = "hybrid"
+		pcfg.Controller = prefetch.ControllerConfig{Interval: 4}
+		tl := trace.NewLog(1 << 18)
+		res, err := workload.Run(cfg, workload.Spec{
+			File:         "zoo",
+			FileSize:     2 << 20,
+			RequestSize:  64 << 10,
+			Mode:         pfs.MRecord,
+			ComputeDelay: 50 * sim.Millisecond,
+			Prefetch:     &pcfg,
+			Trace:        tl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tl
+	}
+
+	res, tl := run()
+	pf := res.Prefetch
+	if pf.Retunes == 0 {
+		t.Fatal("controller never retuned over a full MRecord scan")
+	}
+	depth, bufs, on := pf.Tuning()
+	if !on {
+		t.Fatal("Tuning() reports no controller on a controller-armed run")
+	}
+	if base := prefetch.DefaultConfig(); depth == base.Depth && bufs == base.MaxBuffers {
+		t.Fatalf("knobs unchanged from defaults (%d, %d) despite %d retunes", depth, bufs, pf.Retunes)
+	}
+	if dm, _ := pf.ControllerMoves(); dm == 0 {
+		t.Fatal("no depth moves recorded")
+	}
+
+	zoo := pf.Zoo()
+	if zoo == nil {
+		t.Fatal("hybrid run exposes no registry")
+	}
+	var issued, consumed, wasted, unread int64
+	for _, s := range zoo.Totals() {
+		issued += s.Issued
+		consumed += s.Consumed
+		wasted += s.Wasted
+		unread += s.Unread
+	}
+	if issued != pf.Issued || consumed != pf.Hits+pf.HitsInWait ||
+		wasted != pf.Wasted || unread != pf.UnreadAtClose {
+		t.Fatalf("zoo attribution does not cross-foot: issued %d/%d consumed %d/%d wasted %d/%d unread %d/%d",
+			issued, pf.Issued, consumed, pf.Hits+pf.HitsInWait, wasted, pf.Wasted, unread, pf.UnreadAtClose)
+	}
+
+	res2, tl2 := run()
+	if res.Fingerprint() != res2.Fingerprint() || tl.Digest() != tl2.Digest() {
+		t.Fatalf("controlled run not deterministic: fingerprint %016x vs %016x, trace %016x vs %016x",
+			res.Fingerprint(), res2.Fingerprint(), tl.Digest(), tl2.Digest())
+	}
+}

@@ -92,6 +92,17 @@ func CrashMachine() machine.Config {
 	return cfg
 }
 
+// TournamentTweak arms the prefetcher-zoo stack on a spec: the hybrid
+// policy (mode, sequential, and stride sources racing under per-stream
+// accuracy grading) with the online controller retuning Depth and
+// MaxBuffers every 4 reads. Shared by the golden scenario below and the
+// ext-tournament experiment's simcheck twin, so the gated configuration
+// is literally the one the experiment verifies.
+func TournamentTweak(spec *workload.Spec) {
+	spec.Prefetch.Policy = "hybrid"
+	spec.Prefetch.Controller = prefetch.ControllerConfig{Interval: 4}
+}
+
 // Golden returns the gated scenarios in golden-file line order.
 func Golden() []Scenario {
 	return []Scenario{
@@ -99,6 +110,7 @@ func Golden() []Scenario {
 		{Name: "chaos", Config: ChaosMachine},
 		{Name: "crash", Config: CrashMachine,
 			Tweak: func(spec *workload.Spec) { spec.ContinueOnUnavailable = true }},
+		{Name: "tournament", Config: QuickstartMachine, Tweak: TournamentTweak},
 	}
 }
 

@@ -394,6 +394,34 @@ func checkConservation(seed int64, sc Scenario, r run) []Failure {
 			fail("prefetcher delivered %d buffer + %d direct bytes, applications read %d",
 				p.BytesCopied, p.BytesDirect, res.TotalBytes)
 		}
+		// With the zoo armed, the registry's attribution must balance the
+		// prefetcher's own books: every issued buffer was charged to
+		// exactly one source, every buffer-served read was credited to
+		// one, and the close-time split matches counter for counter. The
+		// run has closed every file, so Totals covers all streams.
+		if zoo := p.Zoo(); zoo != nil {
+			var sum struct{ issued, consumed, wasted, unread int64 }
+			for _, s := range zoo.Totals() {
+				sum.issued += s.Issued
+				sum.consumed += s.Consumed
+				sum.wasted += s.Wasted
+				sum.unread += s.Unread
+			}
+			if sum.issued != p.Issued {
+				fail("zoo sources account %d issued buffers, prefetcher issued %d", sum.issued, p.Issued)
+			}
+			if sum.consumed != p.Hits+p.HitsInWait {
+				fail("zoo sources account %d consumed buffers, prefetcher served %d from buffers",
+					sum.consumed, p.Hits+p.HitsInWait)
+			}
+			if sum.wasted != p.Wasted {
+				fail("zoo sources account %d wasted buffers, prefetcher wasted %d", sum.wasted, p.Wasted)
+			}
+			if sum.unread != p.UnreadAtClose {
+				fail("zoo sources account %d unread-at-close buffers, prefetcher counted %d",
+					sum.unread, p.UnreadAtClose)
+			}
+		}
 	}
 
 	// Full-pass access patterns must deliver the file exactly once — no

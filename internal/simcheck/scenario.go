@@ -129,6 +129,14 @@ func Generate(seed int64) Scenario {
 		pcfg.MaxBuffers = 2 + rng.Intn(7)
 		pcfg.Adaptive = rng.Intn(5) == 0
 		pcfg.FreeCopy = rng.Intn(5) == 0
+		// The zoo policies and the online controller join the organic
+		// population, so every oracle (including the registry's
+		// attribution cross-foot in checkConservation) runs over them on
+		// every sweep.
+		pcfg.Policy = pick(rng, "", "", "", "mode", "sequential", "stride", "hybrid", "hybrid")
+		if rng.Intn(3) == 0 {
+			pcfg.Controller = prefetch.ControllerConfig{Interval: int64(2 + rng.Intn(6))}
+		}
 		spec.Prefetch = &pcfg
 	case r < 7:
 		sscfg := prefetch.DefaultServerSideConfig()

@@ -34,6 +34,13 @@ func (r Report) OK() bool { return len(r.Failures) == 0 }
 // per read cannot make a run faster unless time accounting is broken).
 const monotoneDelayBump = 50 * sim.Millisecond
 
+// CheckScenario runs every applicable oracle over an explicitly-built
+// scenario — the hook for callers outside the seeded population (the
+// prefetcher tournament uses it to prove its hybrid+controller cells
+// hold the same determinism, conservation, and data-correctness
+// invariants as the generated scenarios).
+func CheckScenario(sc Scenario) Report { return checkScenario(sc) }
+
 // Check expands the seed into a scenario and runs every applicable
 // oracle over it. It simulates the scenario up to four times: twice
 // identically (determinism), once without prefetching (data
@@ -178,6 +185,24 @@ type CrashReport struct {
 // crashes would have been fatal without the protection.
 func CheckCrash(seed int64) CrashReport {
 	sc := GenerateCrash(seed)
+	rep := CheckCrashScenario(sc)
+
+	twin := sc
+	twin.Cfg.NoParity = true
+	twin.Cfg.PFS.Retry.DownPoll = 0
+	twin.Cfg.PFS.Retry.DownDeadline = 0
+	twin.Spec.ContinueOnUnavailable = false
+	return CrashReport{Report: rep, UnfailoveredErr: execute(twin.Cfg, twin.Spec).err}
+}
+
+// CheckCrashScenario runs determinism, sanity, and the crash oracle set
+// over an explicitly-built crash scenario: the machine must carry a
+// crash (or member-fail) plan with restart-aware failover armed, and the
+// spec a statically-assigned access pattern with ContinueOnUnavailable
+// and recorded deliveries, as GenerateCrash builds and as the
+// ext-tournament experiment's crash family reuses.
+func CheckCrashScenario(sc Scenario) Report {
+	seed := sc.Seed
 	rep := Report{Seed: seed, Scenario: sc}
 
 	base := execute(sc.Cfg, sc.Spec)
@@ -197,13 +222,7 @@ func CheckCrash(seed int64) CrashReport {
 		rep.Failures = append(rep.Failures, checkSanity(seed, sc, base)...)
 		rep.Failures = append(rep.Failures, checkCrash(seed, sc, base)...)
 	}
-
-	twin := sc
-	twin.Cfg.NoParity = true
-	twin.Cfg.PFS.Retry.DownPoll = 0
-	twin.Cfg.PFS.Retry.DownDeadline = 0
-	twin.Spec.ContinueOnUnavailable = false
-	return CrashReport{Report: rep, UnfailoveredErr: execute(twin.Cfg, twin.Spec).err}
+	return rep
 }
 
 // CheckCrashRange is CheckRange over CheckCrash: seeds [start, start+n)

@@ -17,22 +17,23 @@ import (
 type Kind int
 
 const (
-	ReadStart     Kind = iota // application read call entered
-	ReadEnd                   // application read call returned
-	StripeSend                // a declustered piece sent to an I/O node
-	StripeReply               // a piece's data arrived back
-	PrefetchIssue             // read-ahead queued on the ART
-	PrefetchHit               // read served from a completed buffer
-	PrefetchWait              // read waited on an in-flight prefetch
-	PrefetchMiss              // no buffer matched; direct read
-	RetryIssue                // a failed/timed-out piece re-sent to its I/O node
-	RetryGiveUp               // retry budget exhausted; the error surfaces
-	TimeoutFired              // a piece's reply deadline passed with no reply
-	NodeCrash                 // an I/O node crashed; in-flight work vanishes
-	NodeRestart               // a crashed I/O node came back up, cache cold
-	DegradedRead              // array read reconstructed from parity (member dead)
-	RebuildIO                 // one background rebuild copy onto the hot spare
-	RebuildDone               // hot spare promoted; the array is healthy again
+	ReadStart      Kind = iota // application read call entered
+	ReadEnd                    // application read call returned
+	StripeSend                 // a declustered piece sent to an I/O node
+	StripeReply                // a piece's data arrived back
+	PrefetchIssue              // read-ahead queued on the ART
+	PrefetchHit                // read served from a completed buffer
+	PrefetchWait               // read waited on an in-flight prefetch
+	PrefetchMiss               // no buffer matched; direct read
+	RetryIssue                 // a failed/timed-out piece re-sent to its I/O node
+	RetryGiveUp                // retry budget exhausted; the error surfaces
+	TimeoutFired               // a piece's reply deadline passed with no reply
+	NodeCrash                  // an I/O node crashed; in-flight work vanishes
+	NodeRestart                // a crashed I/O node came back up, cache cold
+	DegradedRead               // array read reconstructed from parity (member dead)
+	RebuildIO                  // one background rebuild copy onto the hot spare
+	RebuildDone                // hot spare promoted; the array is healthy again
+	PrefetchRetune             // controller moved Depth/MaxBuffers (Off=depth, N=cap)
 )
 
 // String names the kind.
@@ -70,6 +71,8 @@ func (k Kind) String() string {
 		return "rebuild-io"
 	case RebuildDone:
 		return "rebuild-done"
+	case PrefetchRetune:
+		return "prefetch-retune"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

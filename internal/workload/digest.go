@@ -86,6 +86,26 @@ func (r *Result) Fingerprint() uint64 {
 			put(uint64(v))
 		}
 		put(p.WaitTime.Fingerprint())
+		// The zoo/controller/close-accounting counters hash only when
+		// their feature is live: the FNV fold is order- and
+		// length-sensitive, so appending even a constant zero would move
+		// every legacy golden digest for runs that cannot have them.
+		if p.UnreadAtClose != 0 {
+			put(uint64(p.UnreadAtClose))
+		}
+		if zoo := p.Zoo(); zoo != nil {
+			for _, s := range zoo.Totals() {
+				for _, v := range []int64{s.Predicted, s.Correct, s.Issued,
+					s.Consumed, s.Wasted, s.Unread} {
+					put(uint64(v))
+				}
+			}
+		}
+		if depth, bufs, on := p.Tuning(); on {
+			put(uint64(p.Retunes))
+			put(uint64(depth))
+			put(uint64(bufs))
+		}
 	}
 	if ss := r.ServerSide; ss != nil {
 		put(uint64(ss.Hints))

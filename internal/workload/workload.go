@@ -229,6 +229,17 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 		if spec.Trace != nil && pcfg.Trace == nil {
 			pcfg.Trace = m.ClientTrace()
 		}
+		// Machine-level defaults fill only what the spec left open: the
+		// policy when neither a Predictor nor a Policy is set, and the
+		// controller when the spec's is disarmed. The struct conversion
+		// fails to compile if machine.PrefetchController ever drifts from
+		// prefetch.ControllerConfig.
+		if pcfg.Predictor == nil && pcfg.Policy == "" {
+			pcfg.Policy = cfg.Prefetch.Policy
+		}
+		if !pcfg.Controller.Enabled() {
+			pcfg.Controller = prefetch.ControllerConfig(cfg.Prefetch.Controller)
+		}
 		pf = prefetch.New(m.K, pcfg)
 		res.Prefetch = pf
 	case spec.ServerSide != nil:
