@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos crash detgate golden ci experiments
+.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos crash scale-smoke detgate golden ci experiments
 
 all: build test
 
@@ -17,14 +17,17 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates BENCH_sweep.json (parallel-sweep speedup + DES
-# hot-path micros) and BENCH_run.json (end-to-end golden-scenario
-# throughput), measured on THIS machine. Run it on the hardware you are
+# hot-path micros), BENCH_run.json (end-to-end golden-scenario
+# throughput + quickstart shard matrix), and BENCH_run.scale.json (the
+# 1024x256 scale scenario across shards 1,2,4,8), measured on THIS
+# machine. Run it on the hardware you are
 # quoting numbers for — both JSONs record num_cpu/gomaxprocs, and a
 # 1-core box can only show ~1x sweep speedup. Commit the refreshed files
 # together with any change that moves the numbers.
 bench:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 	$(GO) run ./cmd/runbench -shards 1,2,4,8 -o BENCH_run.json
+	$(GO) run ./cmd/runbench -scenario scale -shards 1,2,4,8 -o BENCH_run.scale.json
 
 # bench-short is the CI smoke variant: one pass over a small grid plus
 # the package micro-benchmarks at -benchtime=1x, just to prove the
@@ -80,18 +83,31 @@ detgate:
 golden:
 	$(GO) run ./cmd/detgate -update
 
+# scale-smoke is the large-machine gate: the random-scenario oracle
+# battery on the 256x64 platform, the 1024x256 shard differential, and
+# a quick ext-scale coordination-cost sweep.
+scale-smoke:
+	$(GO) run -race ./cmd/simcheck -scale -seeds 12 -parallel 4 -shards 4
+	$(GO) test -race -run TestScaleShardDifferential ./internal/runbench/
+	$(GO) run ./cmd/experiments -quick -run ext-scale -parallel 4
+
 # ci reproduces the GitHub Actions pipeline locally: lint, build, race
-# tests, the simcheck/chaos/crash smoke sweeps, the determinism/alloc
-# gate, and the benchmark smoke.
+# tests, the simcheck/chaos/crash/scale smoke sweeps, the
+# determinism/alloc gate, the benchmark smoke, and the benchmark
+# regression gate against the committed baseline (self-skipping when
+# this host's CPU count differs from the baseline's).
 ci: fmt vet lint build race
 	$(GO) run -race ./cmd/simcheck -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -crash -seeds 25 -parallel 4
+	$(GO) run -race ./cmd/simcheck -scale -seeds 12 -parallel 4 -shards 4
 	$(GO) run ./cmd/experiments -quick -run ext-tournament -parallel 4
+	$(GO) run ./cmd/experiments -quick -run ext-scale -parallel 4
 	$(GO) run ./cmd/detgate -allocs
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/
 	$(GO) run ./cmd/benchsweep -short -o /dev/null
 	$(GO) run ./cmd/runbench -short -o /dev/null
+	$(GO) run ./cmd/runbench -iterations 3 -baseline BENCH_run.json -tolerance 0.85 -o /dev/null
 	@echo "ci: all gates passed"
 
 experiments:

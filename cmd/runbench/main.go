@@ -33,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +59,16 @@ type report struct {
 	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
 	SpeedupHealthy       float64 `json:"speedup_healthy,omitempty"`
 
+	// Regression gate (present only with -baseline -tolerance): every
+	// scenario measured by both reports must retire at least
+	// tolerance × the baseline's events/sec, or the run exits non-zero
+	// (after writing the JSON, so the regressed numbers are inspectable).
+	// BaselineCaveat records the one legitimate skip: the baseline came
+	// from a host with a different CPU count, so the wall-clock ratio
+	// would measure hardware, not code.
+	Tolerance      float64 `json:"tolerance,omitempty"`
+	BaselineCaveat string  `json:"baseline_caveat,omitempty"`
+
 	// Sharded-engine measurements (present only with -shards): the
 	// healthy scenario at each worker count, in the order given, plus
 	// the widest count's events/sec ratio against shards=1. ShardCaveat
@@ -75,6 +86,7 @@ func main() {
 		short      = flag.Bool("short", false, "CI smoke mode: one run per scenario")
 		only       = flag.String("scenario", "", "run only this golden scenario (quickstart, chaos, crash)")
 		baseline   = flag.String("baseline", "", "earlier BENCH_run.json from this machine to compute speedup against")
+		tolerance  = flag.Float64("tolerance", 0, "with -baseline: fail when a shared scenario's events/s drops below tolerance x baseline (0 disables; skipped with a caveat when the CPU counts differ)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement runs")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the measurement runs")
 		shardsList = flag.String("shards", "", "comma-separated sharded-engine worker counts to also measure (e.g. 1,2,4,8)")
@@ -131,11 +143,16 @@ func main() {
 		if err != nil {
 			fatal(err.Error())
 		}
-		healthy := scenarios.Golden()[0]
+		// The matrix runs on the selected scenario (-scenario scale gives
+		// the 1024×256 matrix), defaulting to the healthy quickstart.
+		matrix := scenarios.Golden()[0]
+		if *only != "" {
+			matrix = scs[0]
+		}
 		var serial, widest runbench.Measurement
 		widestN := 0
 		for _, n := range counts {
-			m, err := runbench.Measure(scenarios.WithShards(healthy, n), opt)
+			m, err := runbench.Measure(scenarios.WithShards(matrix, n), opt)
 			if err != nil {
 				fatal(err.Error())
 			}
@@ -161,6 +178,7 @@ func main() {
 		}
 	}
 
+	var regressions []string
 	if *baseline != "" {
 		buf, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -170,13 +188,42 @@ func main() {
 		if err := json.Unmarshal(buf, &base); err != nil {
 			fatal(fmt.Sprintf("parsing %s: %v", *baseline, err))
 		}
+		rep.BaselinePath = *baseline
 		bq, okB := base.Scenarios["quickstart"]
 		nq, okN := rep.Scenarios["quickstart"]
 		if okB && okN && bq.EventsPerSec > 0 {
-			rep.BaselinePath = *baseline
 			rep.BaselineEventsPerSec = bq.EventsPerSec
 			rep.SpeedupHealthy = nq.EventsPerSec / bq.EventsPerSec
 			fmt.Printf("healthy speedup vs %s: %.2fx\n", *baseline, rep.SpeedupHealthy)
+		}
+		if *tolerance > 0 {
+			rep.Tolerance = *tolerance
+			if base.NumCPU != rep.NumCPU {
+				rep.BaselineCaveat = fmt.Sprintf(
+					"baseline measured on %d CPU(s), this host has %d: regression gate skipped (the events/s ratio would measure hardware, not code)",
+					base.NumCPU, rep.NumCPU)
+				fmt.Println("caveat:", rep.BaselineCaveat)
+			} else {
+				names := make([]string, 0, len(base.Scenarios))
+				for name := range base.Scenarios {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					bm := base.Scenarios[name]
+					nm, ok := rep.Scenarios[name]
+					if !ok || bm.EventsPerSec <= 0 {
+						continue
+					}
+					ratio := nm.EventsPerSec / bm.EventsPerSec
+					fmt.Printf("gate %-10s %.2fx of baseline events/s\n", name, ratio)
+					if ratio < *tolerance {
+						regressions = append(regressions, fmt.Sprintf(
+							"%s: %.0f events/s is %.2fx of the baseline's %.0f (tolerance %.2f)",
+							name, nm.EventsPerSec, ratio, bm.EventsPerSec, *tolerance))
+					}
+				}
+			}
 		}
 	}
 
@@ -199,12 +246,19 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err.Error())
+	} else {
+		fmt.Println("wrote", *out)
 	}
-	fmt.Println("wrote", *out)
+	// The report is written even on failure: the JSON is the evidence a
+	// human (or a CI artifact download) needs to see what regressed.
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "runbench: regression: "+r)
+		}
+		os.Exit(1)
+	}
 }
 
 func parseShards(s string) ([]int, error) {

@@ -30,6 +30,12 @@
 //
 //	simcheck -crash -seeds 25
 //
+// Scale mode moves every seed's scenario onto the 256×64 large-machine
+// platform — bounded I/O-group shard partition, tiled stripe groups,
+// wide declustering — under the unchanged oracle set:
+//
+//	simcheck -scale -seeds 10 -shards 4
+//
 // The -shards N flag points the whole battery at the sharded multi-core
 // engine (N workers per simulation) instead of the legacy single-kernel
 // loop; the oracles are engine-agnostic, so this soaks the conservative
@@ -57,6 +63,7 @@ func main() {
 		seed      = flag.Int64("seed", -1, "check exactly this one seed (replay mode)")
 		chaos     = flag.Bool("chaos", false, "force transient faults + retries on every seed (recovery sweep)")
 		crash     = flag.Bool("crash", false, "force whole-node outages + failover on every seed (crash sweep)")
+		scale     = flag.Bool("scale", false, "move every seed's scenario onto the 256x64 scale platform")
 		verbose   = flag.Bool("v", false, "describe every checked scenario, not just failures")
 		keepGoing = flag.Bool("keep-going", false, "sweep past the first failing seed")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker-pool width for the sweep (1 = serial)")
@@ -76,12 +83,18 @@ func main() {
 	// Sharded runs are themselves parallel; shrink the outer sweep pool so
 	// outer×inner stays within the CPUs.
 	*parallel = sweep.Compose(*parallel, *shards)
-	if *chaos && *crash {
-		fmt.Fprintln(os.Stderr, "simcheck: -chaos and -crash are mutually exclusive")
+	if (*chaos && *crash) || (*scale && (*chaos || *crash)) {
+		fmt.Fprintln(os.Stderr, "simcheck: -chaos, -crash, and -scale are mutually exclusive")
 		os.Exit(2)
 	}
 	if *seed >= 0 {
 		switch {
+		case *scale:
+			rep := simcheck.CheckScale(*seed)
+			rep.Describe(os.Stdout)
+			if !rep.OK() {
+				os.Exit(1)
+			}
 		case *chaos:
 			rep := simcheck.CheckChaos(*seed)
 			rep.Describe(os.Stdout)
@@ -146,6 +159,20 @@ func main() {
 			fmt.Println("simcheck: chaos sweep exercised no fatal fault — scenarios too tame")
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *scale {
+		failed := simcheck.CheckScaleRange(*start, *seeds, *parallel, !*keepGoing, func(rep simcheck.Report) {
+			if *verbose || !rep.OK() {
+				rep.Describe(os.Stdout)
+			}
+		})
+		if len(failed) > 0 {
+			fmt.Printf("simcheck: %d failing scale seed(s) (replay with -scale -seed N -v)\n", len(failed))
+			os.Exit(1)
+		}
+		fmt.Printf("simcheck: %d scale seeds ok on 256x64 (start=%d)\n", *seeds, *start)
 		return
 	}
 

@@ -44,6 +44,11 @@ type Scale struct {
 	// independent grid cells (0 or 1 = serial). Tables are identical at
 	// any width; see runCells.
 	Parallel int
+
+	// Ladder lists the compute-node counts of the ext-scale machine-size
+	// sweep (each size pairs with compute/4 I/O nodes, minimum 2). The
+	// paper ladder tops out at the 1024×256 scale platform.
+	Ladder []int
 }
 
 // workers resolves the grid-cell pool width for this scale.
@@ -71,6 +76,7 @@ func PaperScale() Scale {
 		FileBytes: 128 << 20,
 		Rounds:    16,
 		Delays:    []sim.Time{0, 50 * sim.Millisecond, 100 * sim.Millisecond, 200 * sim.Millisecond},
+		Ladder:    []int{8, 32, 128, 512, 1024},
 	}
 }
 
@@ -84,6 +90,7 @@ func QuickScale() Scale {
 		FileBytes: 8 << 20,
 		Rounds:    4,
 		Delays:    []sim.Time{0, 50 * sim.Millisecond},
+		Ladder:    []int{4, 16, 64},
 	}
 }
 

@@ -361,41 +361,71 @@ func interferenceRun(s Scale, withPrefetch, withAggressor bool) (float64, float6
 }
 
 // ExtScale grows the machine — the paper's other stated future work
-// ("evaluate the performance of prefetching on much larger systems").
-// Compute and I/O nodes scale together; per-node work is held constant.
+// ("evaluate the performance of prefetching on much larger systems") —
+// and sweeps I/O mode × machine size up the Scale.Ladder to find where
+// each mode's coordination cost breaks. The modes order by how much
+// they serialize: M_UNIX holds the shared-pointer token across the
+// whole I/O, M_LOG only across the claim, M_RECORD coordinates rounds
+// without a token, M_ASYNC coordinates nothing. The token columns
+// record the collapse: waits per acquisition and queued time per
+// acquisition grow with the client count for M_UNIX while per-node
+// bandwidth falls away, which is the serialization wall the stripe-group
+// tiling and bounded I/O-group partition exist to avoid. Files stripe
+// over a ≤16-node group so declustering cost stays fixed as the machine
+// grows and the sweep isolates coordination, not stripe width.
 func ExtScale(s Scale) (*stats.Table, error) {
-	t := stats.NewTable("Extension: scaling compute and I/O nodes together (64KB requests, 50ms compute)",
-		"Nodes (C+IO)", "No prefetching (MB/s)", "Prefetching (MB/s)", "Speedup", "BW per node")
-	ns := []int{2, 4, 8, 16, 32}
-	bws, err := runCells(s, len(ns)*2, func(i int) (float64, error) {
-		n := ns[i/2]
-		cfg := s.machineConfig()
-		cfg.ComputeNodes = n
-		cfg.IONodes = n
-		spec := workload.Spec{
-			FileSize:     int64(n) * (64 << 10) * s.Rounds * 4,
-			RequestSize:  64 << 10,
-			Mode:         pfs.MRecord,
-			ComputeDelay: 50 * sim.Millisecond,
+	t := stats.NewTable("Extension: I/O-mode coordination cost vs machine size (64KB requests, stripe group <=16)",
+		"Nodes (C+IO)", "Mode", "Aggregate (MB/s)", "Per node (MB/s)",
+		"Token waits/op", "Token wait (ms/op)", "Events")
+	modes := []pfs.Mode{pfs.MUnix, pfs.MLog, pfs.MRecord, pfs.MAsync}
+	type cell struct {
+		bw, waitsPerOp, waitMsPerOp float64
+		events                      uint64
+	}
+	cells, err := runCells(s, len(s.Ladder)*len(modes), func(i int) (cell, error) {
+		c := s.Ladder[i/len(modes)]
+		mode := modes[i%len(modes)]
+		io := c / 4
+		if io < 2 {
+			io = 2
 		}
-		variant := "plain"
-		if i%2 == 1 {
-			pcfg := prefetch.DefaultConfig()
-			spec.Prefetch = &pcfg
-			variant = "prefetch"
+		cfg := s.machineConfig()
+		cfg.ComputeNodes = c
+		cfg.IONodes = io
+		sg := io
+		if sg > 16 {
+			sg = 16
+		}
+		spec := workload.Spec{
+			FileSize:    int64(c) * (64 << 10) * s.Rounds,
+			RequestSize: 64 << 10,
+			Mode:        mode,
+			StripeGroup: sg,
 		}
 		res, err := workload.Run(cfg, spec)
 		if err != nil {
-			return 0, fmt.Errorf("ext-scale %s/%d: %w", variant, n, err)
+			return cell{}, fmt.Errorf("ext-scale %v/%d: %w", mode, c, err)
 		}
-		return res.Bandwidth, nil
+		out := cell{bw: res.Bandwidth, events: res.Machine.Executed()}
+		if res.TokenOps > 0 {
+			out.waitsPerOp = float64(res.TokenWaits) / float64(res.TokenOps)
+			out.waitMsPerOp = res.TokenWaitTime.Seconds() * 1e3 / float64(res.TokenOps)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for r, n := range ns {
-		plain, fetched := bws[2*r], bws[2*r+1]
-		t.AddRow(fmt.Sprintf("%d+%d", n, n), plain, fetched, fetched/plain, fetched/float64(n))
+	for r, c := range s.Ladder {
+		io := c / 4
+		if io < 2 {
+			io = 2
+		}
+		for m, mode := range modes {
+			cl := cells[r*len(modes)+m]
+			t.AddRow(fmt.Sprintf("%d+%d", c, io), mode.String(), cl.bw,
+				cl.bw/float64(c), cl.waitsPerOp, cl.waitMsPerOp, cl.events)
+		}
 	}
 	return t, nil
 }

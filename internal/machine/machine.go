@@ -108,6 +108,18 @@ type Config struct {
 	// are measured against.
 	Shards int
 
+	// IOGroups bounds the number of I/O-side shard groups in sharded
+	// mode. 0 keeps the legacy partition — one group per I/O node —
+	// which is bit-identical to the pinned goldens but scales the
+	// per-round barrier cost of the conservative engine with the node
+	// count (every ~20µs lookahead window visits every group). n ≥ 1
+	// tiles the I/O partition into n contiguous groups of near-equal
+	// size, so a 1024×256 machine runs on 1+n kernels instead of 257.
+	// All nodes of a group share one kernel; the partition is fixed at
+	// build time, so results stay bit-identical at every worker count.
+	// Ignored in legacy mode (Shards == 0).
+	IOGroups int
+
 	// DiskFaultRate arms per-request fault injection on every member
 	// disk (0 disables). Faults surface as read errors at the
 	// application, with the prefetcher falling back to direct reads.
@@ -206,10 +218,16 @@ func Build(cfg Config) *Machine {
 	var ss *sim.ShardSet
 	var k *sim.Kernel
 	if cfg.Shards > 0 {
-		// One group per I/O node plus the compute-side group 0. The
-		// lookahead is the mesh's minimum cross-node latency, the largest
-		// window that is still conservative (see mesh.MinLookahead).
-		ss = sim.NewShardSet(1+cfg.IONodes, cfg.Mesh.HopLatency+cfg.Mesh.RecvOverhead)
+		// The compute-side group 0 plus the I/O-side groups (one per
+		// I/O node by default, IOGroups contiguous tiles when bounded).
+		// The lookahead is the mesh's minimum cross-node latency, the
+		// largest window that is still conservative (see
+		// mesh.MinLookahead).
+		groups := cfg.IONodes
+		if cfg.IOGroups > 0 && cfg.IOGroups < groups {
+			groups = cfg.IOGroups
+		}
+		ss = sim.NewShardSet(1+groups, cfg.Mesh.HopLatency+cfg.Mesh.RecvOverhead)
 		k = ss.Kernel(0)
 	} else {
 		k = sim.NewKernel()
@@ -222,7 +240,7 @@ func Build(cfg Config) *Machine {
 	for i := 0; i < cfg.IONodes; i++ {
 		ki := k
 		if ss != nil {
-			ki = ss.Kernel(1 + i)
+			ki = ss.Kernel(mach.ioGroup(i))
 		}
 		array := disk.NewArray(ki, fmt.Sprintf("raid%d", i), cfg.ArrayMembers,
 			cfg.DiskGeometry, cfg.DiskSched, cfg.ArrayOverhead)
@@ -257,13 +275,30 @@ func Build(cfg Config) *Machine {
 	if ss != nil {
 		groupOf := make([]int, m.Nodes()) // compute + grid-slack slots → group 0
 		for i := 0; i < cfg.IONodes; i++ {
-			groupOf[cfg.ComputeNodes+i] = 1 + i
+			groupOf[cfg.ComputeNodes+i] = mach.ioGroup(i)
 		}
 		m.BindShards(ss, groupOf)
 	}
 	mach.scheduleCrashes(cfg.Crash)
 	mach.scheduleMemberFail(cfg)
 	return mach
+}
+
+// ioGroups reports the number of I/O-side shard groups: IONodes by
+// default, Config.IOGroups when it bounds the partition.
+func (m *Machine) ioGroups() int {
+	g := m.cfg.IOGroups
+	if g <= 0 || g > m.cfg.IONodes {
+		return m.cfg.IONodes
+	}
+	return g
+}
+
+// ioGroup maps I/O node i to its shard-group index (group 0 is the
+// compute side). Tiles are contiguous and near-equal: node i lands in
+// tile i*groups/IONodes.
+func (m *Machine) ioGroup(i int) int {
+	return 1 + i*m.ioGroups()/m.cfg.IONodes
 }
 
 // scheduleCrashes pre-plans the whole-node outages: victims and crash
@@ -307,7 +342,7 @@ func (m *Machine) scheduleCrashes(plan CrashPlan) {
 			// own shard, and cross-shard health queries (mesh delivery,
 			// client down-polling) consult the static schedule instead of
 			// runtime flags — same send-time semantics, no shared state.
-			ki := m.ss.Kernel(1 + i)
+			ki := m.ss.Kernel(m.ioGroup(i))
 			sched := make([]ionode.Outage, 0, len(merged))
 			for _, o := range merged {
 				o := o
@@ -351,7 +386,7 @@ func (m *Machine) scheduleMemberFail(cfg Config) {
 	noParity := cfg.NoParity
 	ka := m.K
 	if m.ss != nil {
-		ka = m.ss.Kernel(1 + ai) // the member death fires on its array's shard
+		ka = m.ss.Kernel(m.ioGroup(ai)) // the member death fires on its array's shard
 	}
 	ka.At(cfg.MemberFail.At, func() {
 		array.FailMember(mi)
@@ -369,9 +404,11 @@ func (m *Machine) scheduleMemberFail(cfg Config) {
 func (m *Machine) SetTrace(tl *trace.Log) {
 	m.userTrace = tl
 	if m.ss != nil {
-		m.shardTrace = trace.NewSharded(1+len(m.Servers), tl.Cap())
+		// One bucket per shard group: servers sharing a group share a
+		// kernel (single context), so they can share a Log too.
+		m.shardTrace = trace.NewSharded(1+m.ioGroups(), tl.Cap())
 		for i, s := range m.Servers {
-			b := m.shardTrace.Bucket(1 + i)
+			b := m.shardTrace.Bucket(m.ioGroup(i))
 			s.SetTrace(b)
 			m.Arrays[i].SetTrace(b, s.Node())
 		}

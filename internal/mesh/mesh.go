@@ -200,12 +200,21 @@ func (m *Mesh) AddOutage(node int, at, until sim.Time) {
 // are evaluated at send time, like the legacy path).
 func (m *Mesh) downAt(node int, t sim.Time) bool {
 	if m.shards != nil {
-		for _, o := range m.outages[node] {
-			if t >= o.at && t < o.until {
-				return true
+		// AddOutage requires sorted, non-overlapping intervals per node,
+		// so a binary search for the first interval ending after t
+		// replaces the linear scan (chaos schedules at large node counts
+		// put many outages on the hot delivery path).
+		list := m.outages[node]
+		lo, hi := 0, len(list)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if list[mid].until <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
 		}
-		return false
+		return lo < len(list) && t >= list[lo].at
 	}
 	return m.down[node]
 }

@@ -137,6 +137,22 @@ func (f *File) Close() error {
 	return nil
 }
 
+// lockToken acquires the shared-file pointer token, charging any
+// queueing delay behind another holder to the mount's contention
+// counters. The measurement only reads the clock around the Lock — it
+// schedules no events — so fingerprints of existing scenarios are
+// unchanged.
+func (f *File) lockToken(p *sim.Proc) {
+	fsys := f.fsys
+	t0 := p.Now()
+	f.meta.token.Lock(p)
+	if w := p.Now() - t0; w > 0 {
+		fsys.TokenWaits++
+		fsys.TokenWaitTime += w
+	}
+	fsys.TokenOps++
+}
+
 // Read performs one blocking read of n bytes under the file's I/O mode,
 // advancing the appropriate file pointer(s). It returns the bytes read;
 // at end of file it returns 0, io.EOF. Collective modes require all
@@ -167,7 +183,7 @@ func (f *File) Read(p *sim.Proc, n int64) (int64, error) {
 
 	case MUnix:
 		// Token held across the entire I/O: full serialization.
-		f.meta.token.Lock(p)
+		f.lockToken(p)
 		p.Sleep(f.fsys.cfg.TokenClaim)
 		off = f.meta.sharedOff
 		n = clamp(off, n, f.meta.size)
@@ -181,7 +197,7 @@ func (f *File) Read(p *sim.Proc, n int64) (int64, error) {
 
 	case MLog:
 		// Token held only while claiming the region; I/O overlaps.
-		f.meta.token.Lock(p)
+		f.lockToken(p)
 		p.Sleep(f.fsys.cfg.TokenClaim)
 		off = f.meta.sharedOff
 		n = clamp(off, n, f.meta.size)

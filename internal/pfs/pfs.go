@@ -32,6 +32,16 @@ type Config struct {
 	ARTSetup     sim.Time // async request setup + posting cost in the ART
 	FastPath     bool     // bypass I/O-node buffer caches (PFS "buffering off")
 
+	// GroupWidth bounds the stripe group of files created with default
+	// attributes (Create): instead of striping over the whole I/O
+	// partition, each file stripes over a tile of GroupWidth consecutive
+	// I/O nodes, and successive files take successive tiles (wrapping
+	// around the partition), so declustering and per-file metadata stay
+	// O(GroupWidth) no matter how many I/O nodes the machine has. 0 (or
+	// a width covering the partition) keeps the legacy whole-partition
+	// stripe. CreateStriped callers pass explicit groups either way.
+	GroupWidth int
+
 	// Retry is the fault-tolerant I/O path: per-stripe-request timeouts
 	// and bounded, deterministically backed-off re-issues. The zero
 	// value disables it (the paper's client: any stripe failure surfaces
@@ -98,8 +108,27 @@ type FileSystem struct {
 	stripeFree  []*stripeOp     // pooled per-op bookkeeping
 	attemptFree []*pieceAttempt // pooled per-attempt bookkeeping
 
+	// Generation-stamped per-server merge index for declusterInto: slot
+	// s holds the index in pieceBuf of server s's latest piece when its
+	// stamp matches declusterGen, so the merge probe is O(1) per stripe
+	// unit instead of a backward scan over the pieces so far (quadratic
+	// in the stripe width for wide spanning requests).
+	lastPiece    []int32
+	lastPieceGen []uint32
+	declusterGen uint32
+
 	// Measurements.
 	StripeRequests int64 // per-I/O-node requests issued (after declustering)
+
+	// Shared-pointer token contention (M_UNIX holds the token across the
+	// whole I/O, M_LOG only across the claim). TokenOps counts every
+	// acquisition, TokenWaits the ones that queued behind another
+	// holder, TokenWaitTime the total simulated time spent queued — the
+	// serialization cost that collapses as client counts grow (the
+	// ext-scale experiment records it per machine size).
+	TokenOps      int64
+	TokenWaits    int64
+	TokenWaitTime sim.Time
 
 	// Fault-tolerance measurements (all zero while Config.Retry is the
 	// zero policy).
@@ -156,11 +185,25 @@ func (fsys *FileSystem) emit(kind trace.Kind, node int, file string, off, n int6
 func (fsys *FileSystem) Servers() []*ionode.Server { return fsys.servers }
 
 // Create allocates a PFS file of size bytes with the mount's default
-// stripe attributes (unit size from Config, group = all I/O nodes).
+// stripe attributes: unit size from Config, and a stripe group that is
+// either the whole I/O partition (GroupWidth 0, the legacy layout) or
+// the next GroupWidth-wide tile of it. Tiles advance with each created
+// file and wrap around the partition, so a population of files spreads
+// over every I/O node while each individual file's declustering stays
+// O(GroupWidth).
 func (fsys *FileSystem) Create(name string, size int64) error {
-	group := make([]int, len(fsys.servers))
+	n := len(fsys.servers)
+	w := fsys.cfg.GroupWidth
+	if w <= 0 || w > n {
+		w = n
+	}
+	base := 0
+	if w < n {
+		base = (fsys.created * w) % n
+	}
+	group := make([]int, w)
 	for i := range group {
-		group[i] = i
+		group[i] = (base + i) % n
 	}
 	return fsys.CreateStriped(name, size, fsys.cfg.StripeUnit, group)
 }
@@ -286,10 +329,53 @@ func decluster(off, n, su int64, g int) []piece {
 
 // declusterInto is decluster into the mount's scratch buffer. The buffer
 // is valid until the next stripe operation on this mount; stripeIOInto
-// consumes it before anything can re-enter.
+// consumes it before anything can re-enter. Unlike the pure decluster it
+// merges through the generation-stamped per-server index, so the probe
+// for "this member's most recent piece" is O(1) per stripe unit rather
+// than a backward scan — the scan is quadratic in the stripe width for
+// requests spanning a wide group, which is exactly the large-machine
+// regime. The merge semantics are identical to declusterAppend
+// (TestDeclusterIntoMatchesReference pins that).
 func (fsys *FileSystem) declusterInto(off, n, su int64, g int) []piece {
-	fsys.pieceBuf = declusterAppend(fsys.pieceBuf[:0], off, n, su, g)
-	return fsys.pieceBuf
+	if len(fsys.lastPiece) < g {
+		fsys.lastPiece = make([]int32, g)
+		fsys.lastPieceGen = make([]uint32, g)
+		fsys.declusterGen = 0
+	}
+	fsys.declusterGen++
+	if fsys.declusterGen == 0 { // uint32 wrap: clear stale stamps
+		for i := range fsys.lastPieceGen {
+			fsys.lastPieceGen[i] = 0
+		}
+		fsys.declusterGen = 1
+	}
+	gen := fsys.declusterGen
+	last, lastGen := fsys.lastPiece, fsys.lastPieceGen
+	out := fsys.pieceBuf[:0]
+	end := off + n
+	for cur := off; cur < end; {
+		u := cur / su
+		within := cur % su
+		take := su - within
+		if rem := end - cur; rem < take {
+			take = rem
+		}
+		srv := int(u % int64(g))
+		local := (u/int64(g))*su + within
+		if lastGen[srv] == gen {
+			if i := last[srv]; out[i].localOff+out[i].n == local {
+				out[i].n += take
+				cur += take
+				continue
+			}
+		}
+		last[srv] = int32(len(out))
+		lastGen[srv] = gen
+		out = append(out, piece{server: srv, localOff: local, n: take})
+		cur += take
+	}
+	fsys.pieceBuf = out
+	return out
 }
 
 func declusterAppend(out []piece, off, n, su int64, g int) []piece {

@@ -111,6 +111,66 @@ func TestDeclusterProperties(t *testing.T) {
 	}
 }
 
+// The indexed scratch-buffer decluster must produce byte-identical
+// pieces to the naive reference across offsets, sizes, units, and group
+// widths — including the wide-group regime the index exists for.
+func TestDeclusterIntoMatchesReference(t *testing.T) {
+	r := newRig(t, 1, 1)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		su := int64(1) << (10 + rng.Intn(8))
+		g := 1 + rng.Intn(256)
+		off := rng.Int63n(1 << 30)
+		n := 1 + rng.Int63n(int64(g)*su*3)
+		want := decluster(off, n, su, g)
+		got := r.fsys.declusterInto(off, n, su, g)
+		if len(got) != len(want) {
+			t.Fatalf("case %d (off=%d n=%d su=%d g=%d): %d pieces, want %d",
+				i, off, n, su, g, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("case %d (off=%d n=%d su=%d g=%d): piece %d = %+v, want %+v",
+					i, off, n, su, g, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// Create with GroupWidth set tiles successive files over successive
+// GroupWidth-wide windows of the I/O partition, wrapping around.
+func TestCreateGroupWidthTiling(t *testing.T) {
+	r := newRig(t, 2, 6)
+	r.fsys.cfg.GroupWidth = 4
+	for i := 0; i < 4; i++ {
+		if err := r.fsys.Create(fmt.Sprintf("f%d", i), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tile i covers servers {(4i+j) % 6}; CreateStriped then applies the
+	// legacy stripe-base rotation (created % width) within the tile.
+	want := [][]int{
+		{0, 1, 2, 3},
+		{5, 0, 1, 4},
+		{4, 5, 2, 3},
+		{3, 0, 1, 2},
+	}
+	for i, w := range want {
+		meta := r.fsys.files[clean(fmt.Sprintf("f%d", i))]
+		if meta == nil {
+			t.Fatalf("f%d missing", i)
+		}
+		if len(meta.group) != len(w) {
+			t.Fatalf("f%d group %v, want %v", i, meta.group, w)
+		}
+		for j := range w {
+			if meta.group[j] != w[j] {
+				t.Fatalf("f%d group %v, want %v", i, meta.group, w)
+			}
+		}
+	}
+}
+
 func TestCreateValidation(t *testing.T) {
 	r := newRig(t, 2, 4)
 	if err := r.fsys.Create("f", 1<<20); err != nil {

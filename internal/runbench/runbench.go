@@ -40,17 +40,19 @@ type Options struct {
 type Measurement struct {
 	Scenario      string  `json:"scenario"`
 	Shards        int     `json:"shards,omitempty"` // worker count; 0 = legacy single-kernel engine
-	WallSec       float64 `json:"wall_sec"`         // per run, averaged over the fastest pass
-	RunsPerPass   int     `json:"runs_per_pass"`    // back-to-back runs amortized per timed pass
-	SimSec        float64 `json:"sim_sec"`          // simulated time one run covers
-	SimPerWall    float64 `json:"sim_per_wall"`     // simulated seconds per wall second
-	Events        uint64  `json:"events"`           // kernel events executed in one run
-	EventsPerSec  float64 `json:"events_per_sec"`   // events retired per wall second
-	Reads         int64   `json:"reads"`            // simulated read calls in one run
-	AllocsPerRead float64 `json:"allocs_per_read"`  // heap allocations per simulated read
-	BytesPerRead  float64 `json:"bytes_per_read"`   // heap bytes per simulated read
-	Fingerprint   string  `json:"fingerprint"`      // workload.Result.Fingerprint, %016x
-	TraceDigest   string  `json:"trace_digest"`     // trace.Log.Digest, %016x
+	ComputeNodes  int     `json:"compute_nodes"`    // machine shape the number was measured on
+	IONodes       int     `json:"io_nodes"`
+	WallSec       float64 `json:"wall_sec"`        // per run, averaged over the fastest pass
+	RunsPerPass   int     `json:"runs_per_pass"`   // back-to-back runs amortized per timed pass
+	SimSec        float64 `json:"sim_sec"`         // simulated time one run covers
+	SimPerWall    float64 `json:"sim_per_wall"`    // simulated seconds per wall second
+	Events        uint64  `json:"events"`          // kernel events executed in one run
+	EventsPerSec  float64 `json:"events_per_sec"`  // events retired per wall second
+	Reads         int64   `json:"reads"`           // simulated read calls in one run
+	AllocsPerRead float64 `json:"allocs_per_read"` // heap allocations per simulated read
+	BytesPerRead  float64 `json:"bytes_per_read"`  // heap bytes per simulated read
+	Fingerprint   string  `json:"fingerprint"`     // workload.Result.Fingerprint, %016x
+	TraceDigest   string  `json:"trace_digest"`    // trace.Log.Digest, %016x
 
 	// PerGroupEvents is the per-shard-group event split (sharded engine
 	// only): the load-balance evidence behind any parallel speedup claim.
@@ -103,7 +105,10 @@ func Measure(sc scenarios.Scenario, opt Options) (Measurement, error) {
 		return m, err
 	}
 	m.SimSec = res.Elapsed.Seconds()
-	m.Shards = res.Machine.Config().Shards
+	mcfg := res.Machine.Config()
+	m.Shards = mcfg.Shards
+	m.ComputeNodes = mcfg.ComputeNodes
+	m.IONodes = mcfg.IONodes
 	m.Events = res.Machine.Executed()
 	m.PerGroupEvents = res.Machine.PerGroupExecuted()
 	m.Reads = res.ReadCalls

@@ -49,6 +49,46 @@ func TestShardDifferential(t *testing.T) {
 	}
 }
 
+// TestScaleShardDifferential is the shard-differential twin for the
+// 1024×256 scale scenario (which is deliberately not in Golden(), so
+// the loop above never sees it): the bounded I/O-group partition and
+// the tiled stripe layout must deliver bit-identical results at shard
+// worker counts 1, 2, 4, and 8, same as the small platforms.
+func TestScaleShardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024×256 runs are not short-mode material")
+	}
+	sc, ok := scenarios.ByName("scale")
+	if !ok {
+		t.Fatal("scale scenario not registered")
+	}
+	type digest struct {
+		fp, tr, kfp uint64
+		events      uint64
+	}
+	var base digest
+	for i, n := range []int{1, 2, 4, 8} {
+		res, tl, err := Run(scenarios.WithShards(sc, n))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		d := digest{
+			fp:     res.Fingerprint(),
+			tr:     tl.Digest(),
+			kfp:    res.Machine.KernelFingerprint(),
+			events: res.Machine.Executed(),
+		}
+		if i == 0 {
+			base = d
+			continue
+		}
+		if d != base {
+			t.Errorf("shards=%d diverged from shards=1:\n  fingerprint %016x vs %016x\n  trace       %016x vs %016x\n  kernel      %016x vs %016x\n  events      %d vs %d",
+				n, d.fp, base.fp, d.tr, base.tr, d.kfp, base.kfp, d.events, base.events)
+		}
+	}
+}
+
 // TestShardedMatchesLegacySemantics compares the sharded engine against
 // the legacy single-kernel engine on every golden scenario. The two
 // engines hash their kernels differently (one kernel vs a per-group

@@ -103,6 +103,38 @@ func TournamentTweak(spec *workload.Spec) {
 	spec.Prefetch.Controller = prefetch.ControllerConfig{Interval: 4}
 }
 
+// ScaleMachine is the large-configuration platform: 1024 compute and
+// 256 I/O nodes on a 36×36 mesh, the I/O side partitioned into 16 shard
+// groups (a 1024×256 machine on 257 kernels would spend every ~20µs
+// lookahead round on barriers instead of events), and files striping
+// over 16-node tiles of the I/O partition so declustering stays
+// O(stripe width).
+func ScaleMachine() machine.Config {
+	cfg := QuickstartMachine()
+	cfg.ComputeNodes = 1024
+	cfg.IONodes = 256
+	cfg.IOGroups = 16
+	cfg.PFS.GroupWidth = 16
+	return cfg
+}
+
+// ScaleTweak sizes the quickstart spec for the scale platform: every
+// compute node streams a private 128 KB file (two 64 KB reads) created
+// with the tiled default attributes, so the 1024-file population covers
+// all 256 I/O nodes.
+func ScaleTweak(spec *workload.Spec) {
+	spec.SeparateFiles = true
+	spec.FileSize = 1024 * (128 << 10)
+}
+
+// Scale returns the 1024×256 scenario. It is deliberately not part of
+// Golden() — the detgate golden set stays small and fast — and is
+// instead covered by the scale shard-differential test and reachable by
+// name (runbench -scenario scale).
+func Scale() Scenario {
+	return Scenario{Name: "scale", Config: ScaleMachine, Tweak: ScaleTweak}
+}
+
 // Golden returns the gated scenarios in golden-file line order.
 func Golden() []Scenario {
 	return []Scenario{
@@ -131,12 +163,17 @@ func WithShards(sc Scenario, n int) Scenario {
 	}
 }
 
-// ByName returns the golden scenario with the given name, or false.
+// ByName returns the golden scenario with the given name — or the scale
+// scenario, which is addressable by name without being golden — or
+// false.
 func ByName(name string) (Scenario, bool) {
 	for _, sc := range Golden() {
 		if sc.Name == name {
 			return sc, true
 		}
+	}
+	if sc := Scale(); sc.Name == name {
+		return sc, true
 	}
 	return Scenario{}, false
 }

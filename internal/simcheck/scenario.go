@@ -195,6 +195,52 @@ func GenerateChaos(seed int64) Scenario {
 	return sc
 }
 
+// armScale moves sc onto the large-machine platform: 256 compute × 64
+// I/O nodes with the bounded I/O-group shard partition and (sometimes)
+// tiled default striping, the layouts the 1024×256 scale model runs on.
+// The organic draw's mode, pattern, prefetch placement, and fault class
+// all carry over — large machines earn no oracle exemptions — but
+// per-node work shrinks to 1–3 rounds of ≤32 KB requests so a sweep of
+// seeds stays inside the CI race-detector budget.
+func armScale(sc *Scenario, rng *rand.Rand) {
+	cfg := &sc.Cfg
+	spec := &sc.Spec
+	cfg.ComputeNodes = 256
+	cfg.IONodes = 64
+	cfg.IOGroups = pick(rng, 8, 16)
+	cfg.PFS.GroupWidth = pick(rng, 0, 8, 16)
+
+	// Redraw the stripe group for the wide partition: usually the whole
+	// 64-node partition (the widest declustering the indexed merge path
+	// sees), sometimes a narrow explicit group.
+	spec.StripeGroup = pick(rng, 0, 0, 0, 8, 16, 64)
+
+	req := pick64(rng, 8<<10, 16<<10, 32<<10)
+	rounds := int64(1 + rng.Intn(3))
+	spec.RequestSize = req
+	spec.FileSize = int64(cfg.ComputeNodes) * req * rounds
+	if spec.Mode == pfs.MGlobal {
+		// Every M_GLOBAL record is read by all 256 parties (one disk read,
+		// broadcast delivery), so read calls — and trace events — are
+		// parties × records. A handful of records already exercises the
+		// broadcast tree at full width without blowing the oracle trace
+		// budget.
+		spec.FileSize = req * int64(4+rng.Intn(13))
+	}
+}
+
+// GenerateScale expands a seed like Generate and then moves the
+// scenario onto the 256×64 scale platform. Scale sweeps
+// (`cmd/simcheck -scale`) use this so the flat layouts, bounded shard
+// partition, and tiled striping face the same oracle set as the paper-
+// sized machines.
+func GenerateScale(seed int64) Scenario {
+	sc := Generate(seed)
+	srng := rand.New(rand.NewSource(seed*2862933555777941757 + 7046029254386353087))
+	armScale(&sc, srng)
+	return sc
+}
+
 // armCrash turns sc into a crash-chaos scenario: scheduled whole-node
 // outages against the restart-aware failover policy, on a workload whose
 // per-node read sequence is a pure function of the spec — so the crash

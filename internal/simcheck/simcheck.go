@@ -250,6 +250,36 @@ func CheckCrashRange(start int64, n, workers int, stopFirst bool, onReport func(
 	return failed, unprotected
 }
 
+// CheckScale expands the seed onto the 256×64 scale platform
+// (GenerateScale) and runs the same oracle set as Check — determinism,
+// conservation, data correctness against the prefetch-off twin and the
+// reference model, sanity, and (for the overlap-free healthy baseline)
+// monotonicity all apply to the flat large-machine layouts unchanged.
+func CheckScale(seed int64) Report {
+	return checkScenario(GenerateScale(seed))
+}
+
+// CheckScaleRange is CheckRange over CheckScale: seeds [start, start+n)
+// on a worker pool, reports delivered in seed order at every width.
+func CheckScaleRange(start int64, n, workers int, stopFirst bool, onReport func(Report)) []Report {
+	var failed []Report
+	sweep.Stream(workers, n, func(i int) Report {
+		return CheckScale(start + int64(i))
+	}, func(_ int, rep Report) bool {
+		if onReport != nil {
+			onReport(rep)
+		}
+		if !rep.OK() {
+			failed = append(failed, rep)
+			if stopFirst {
+				return false
+			}
+		}
+		return true
+	})
+	return failed
+}
+
 // CheckRange checks seeds [start, start+n) across a pool of workers
 // (workers <= 1 checks serially on the calling goroutine; workers <= 0
 // means one worker per CPU). Reports are delivered to onReport in seed

@@ -123,6 +123,17 @@ type Result struct {
 	// Fault summarizes the run's fault-tolerance activity (all zero on a
 	// healthy machine with the retry layer disabled).
 	Fault FaultCounters
+
+	// Shared-pointer token contention (M_UNIX holds the token across the
+	// whole I/O, M_LOG only across the claim; zero elsewhere). TokenOps
+	// counts acquisitions, TokenWaits the ones that queued behind another
+	// holder, TokenWaitTime the total simulated time spent queued — the
+	// serialization cost whose collapse with client count the ext-scale
+	// experiment records. Not folded into the fingerprint: the counters
+	// observe existing events rather than scheduling new ones.
+	TokenOps      int64
+	TokenWaits    int64
+	TokenWaitTime sim.Time
 }
 
 // FaultCounters aggregates the fault-path counters of the PFS client, the
@@ -250,8 +261,20 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 	nodes := cfg.ComputeNodes
 	if spec.SeparateFiles {
 		share := spec.FileSize / int64(nodes)
+		tiled := spec.StripeUnit == 0 && spec.StripeGroup == 0 && cfg.PFS.GroupWidth > 0
 		for i := 0; i < nodes; i++ {
 			name := fmt.Sprintf("%s.%d", spec.File, i)
+			if tiled {
+				// Default attributes with a bounded GroupWidth: each
+				// private file takes the next GroupWidth-wide tile of the
+				// I/O partition (see pfs.Create), so the population covers
+				// every I/O node while per-file declustering stays
+				// O(GroupWidth) — the large-machine layout.
+				if err := m.FS.Create(name, share); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if err := m.FS.CreateStriped(name, share, su, group); err != nil {
 				return nil, err
 			}
@@ -338,6 +361,9 @@ func Run(cfg machine.Config, spec Spec) (*Result, error) {
 		}
 	}
 	res.Bandwidth = stats.MBps(res.TotalBytes, res.Elapsed)
+	res.TokenOps = m.FS.TokenOps
+	res.TokenWaits = m.FS.TokenWaits
+	res.TokenWaitTime = m.FS.TokenWaitTime
 	collectFaults(res, m)
 	return res, nil
 }
