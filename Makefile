@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos crash scale-smoke detgate golden ci experiments
+.PHONY: all build test race vet fmt lint bench bench-short simcheck chaos crash qos-smoke scale-smoke detgate golden ci experiments
 
 all: build test
 
@@ -83,6 +83,14 @@ detgate:
 golden:
 	$(GO) run ./cmd/detgate -update
 
+# qos-smoke is the multi-tenant overload gate: the open-loop QoS oracle
+# battery (fair queueing, admission, starvation-freedom, FIFO-twin
+# unfairness) under the race detector on the sharded engine, plus a
+# quick ext-qos tail-latency sweep.
+qos-smoke:
+	$(GO) run -race ./cmd/simcheck -qos -seeds 25 -parallel 4 -shards 4
+	$(GO) run ./cmd/experiments -quick -run ext-qos -parallel 4
+
 # scale-smoke is the large-machine gate: the random-scenario oracle
 # battery on the 256x64 platform, the 1024x256 shard differential, and
 # a quick ext-scale coordination-cost sweep.
@@ -101,7 +109,9 @@ ci: fmt vet lint build race
 	$(GO) run -race ./cmd/simcheck -chaos -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -crash -seeds 25 -parallel 4
 	$(GO) run -race ./cmd/simcheck -scale -seeds 12 -parallel 4 -shards 4
+	$(GO) run -race ./cmd/simcheck -qos -seeds 25 -parallel 4 -shards 4
 	$(GO) run ./cmd/experiments -quick -run ext-tournament -parallel 4
+	$(GO) run ./cmd/experiments -quick -run ext-qos -parallel 4
 	$(GO) run ./cmd/experiments -quick -run ext-scale -parallel 4
 	$(GO) run ./cmd/detgate -allocs
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem ./internal/sim/ ./internal/mesh/ ./internal/sweep/ ./internal/stats/ ./internal/pfs/ ./internal/ionode/

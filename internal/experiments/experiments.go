@@ -133,6 +133,7 @@ func All() []Experiment {
 		{"ext-degraded", "Extension: degraded-mode reads under transient disk faults", ExtDegraded},
 		{"ext-crash", "Extension: I/O-node crashes, degraded reads, and online rebuild", ExtCrash},
 		{"ext-tournament", "Extension: prefetcher-policy tournament with online controller", ExtTournament},
+		{"ext-qos", "Extension: open-loop multi-tenant overload with fair queueing and admission", ExtQoS},
 		{"ablation-blocksize", "Ablation: file system block size", AblationBlockSize},
 		{"ablation-depth", "Ablation: prefetch depth", AblationDepth},
 		{"ablation-copy", "Ablation: hit-path copy cost", AblationCopy},

@@ -1,0 +1,115 @@
+package experiments
+
+// ExtQoS is the open-loop multi-tenant overload experiment: a grid of
+// tenant-population sizes × offered loads × schedulers, reporting the
+// tail latency (p50/p99/p999), admission and completion fractions, and
+// the worst normalized-service lag each cell produced. The scheduler
+// axis compares pure FIFO dispatch (the pre-QoS server), weighted fair
+// queueing with per-tenant admission, and WFQ with the client prefetcher
+// attached to every fourth tenant — the interference arm: does one
+// tenant's readahead help its own tail by hurting everyone else's?
+
+import (
+	"fmt"
+
+	"repro/internal/ionode"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// qosSchedulers are the scheduler-axis variants of the ext-qos grid.
+var qosSchedulers = []string{"fifo", "wfq", "wfq+pf"}
+
+// ExtQoS sweeps open-loop overload across tenants × load × scheduler.
+func ExtQoS(s Scale) (*stats.Table, error) {
+	t := stats.NewTable("Extension: open-loop multi-tenant overload (weights 4:2:1, slots 2)",
+		"Tenants", "Gap (ms)", "Scheduler", "Arrivals", "Done %", "Throttled %",
+		"p50 (ms)", "p99 (ms)", "p999 (ms)", "SLO %", "Max lag (costs)")
+
+	tenantGrid := []int{s.Compute * 24, s.Compute * 192}
+	gaps := []sim.Time{4 * sim.Millisecond, 1 * sim.Millisecond}
+
+	type cell struct {
+		arrivals         int64
+		donePct, shedPct float64
+		p50, p99, p999   float64
+		sloPct, lagCosts float64
+	}
+	n := len(tenantGrid) * len(gaps) * len(qosSchedulers)
+	cells, err := runCells(s, n, func(i int) (cell, error) {
+		sched := qosSchedulers[i%len(qosSchedulers)]
+		gap := gaps[(i/len(qosSchedulers))%len(gaps)]
+		tenants := tenantGrid[i/(len(qosSchedulers)*len(gaps))]
+
+		cfg := s.machineConfig()
+		cfg.Fair = ionode.FairPolicy{
+			Weights:       []int{4, 2, 1},
+			Slots:         2,
+			RatePerWeight: 64 << 10,
+			BurstBytes:    32 << 10,
+			FIFO:          sched == "fifo",
+		}
+		spec := workload.QoSSpec{
+			Tenants:     tenants,
+			Files:       s.IO * 2,
+			FileSize:    1 << 20,
+			RequestSize: 16 << 10,
+			Requests:    4,
+			MeanGap:     gap,
+			Seed:        int64(7 + i),
+			SLO:         100 * sim.Millisecond,
+		}
+		if sched == "wfq+pf" {
+			pcfg := prefetch.DefaultConfig()
+			spec.Prefetch = &pcfg
+			spec.PrefetchEvery = 4
+		}
+		res, err := workload.RunQoS(cfg, spec)
+		if err != nil {
+			return cell{}, fmt.Errorf("ext-qos %d/%v/%s: %w", tenants, gap, sched, err)
+		}
+		q := res.QoS
+		var done int64
+		for i := range q.Tenants {
+			done += q.Tenants[i].Done
+		}
+		var lag float64
+		for _, srv := range res.Machine.Servers {
+			if snap := srv.FairSnapshot(); snap != nil && snap.MaxWeightedCost > 0 {
+				if r := float64(snap.MaxLag) / float64(snap.MaxWeightedCost); r > lag {
+					lag = r
+				}
+			}
+		}
+		c := cell{
+			arrivals: q.Arrivals,
+			donePct:  100 * float64(done) / float64(q.Arrivals),
+			shedPct:  100 * float64(q.Throttled) / float64(q.Arrivals),
+			p50:      1e3 * q.Latency.Quantile(0.50),
+			p99:      1e3 * q.Latency.Quantile(0.99),
+			p999:     1e3 * q.Latency.Quantile(0.999),
+			lagCosts: lag,
+		}
+		if done > 0 {
+			c.sloPct = 100 * float64(q.SLOMet) / float64(done)
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, tenants := range tenantGrid {
+		for _, gap := range gaps {
+			for _, sched := range qosSchedulers {
+				c := cells[i]
+				i++
+				t.AddRow(tenants, float64(gap)/float64(sim.Millisecond), sched,
+					c.arrivals, c.donePct, c.shedPct, c.p50, c.p99, c.p999, c.sloPct, c.lagCosts)
+			}
+		}
+	}
+	return t, nil
+}

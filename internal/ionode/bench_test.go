@@ -26,7 +26,7 @@ func benchChainReply(a any, err error) {
 	}
 	c.left--
 	if c.left > 0 {
-		c.s.ReadCall(0, c.h, int64(c.left%64)*(8<<10), 8<<10, true, benchChainReply, c)
+		c.s.ReadCall(0, 0, c.h, int64(c.left%64)*(8<<10), 8<<10, true, benchChainReply, c)
 	}
 }
 
@@ -52,7 +52,7 @@ func BenchmarkServicePath(b *testing.B) {
 	s := New(k, m, 3, fs, 300*sim.Microsecond)
 	run := func(reads int) {
 		c := &benchChain{s: s, h: h, left: reads}
-		c.s.ReadCall(0, c.h, 0, 8<<10, true, benchChainReply, c)
+		c.s.ReadCall(0, 0, c.h, 0, 8<<10, true, benchChainReply, c)
 		if err := k.Run(); err != nil {
 			b.Fatal(err)
 		}

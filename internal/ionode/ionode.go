@@ -71,6 +71,9 @@ type Server struct {
 	consecFault int      // disk faults since the last success (closed state)
 	shedUntil   sim.Time // open-state cooldown deadline
 
+	fair FairPolicy // per-tenant fair scheduler; zero = legacy arrival order
+	fq   *fairQueue // scheduler state, nil unless fair.Enabled()
+
 	down      bool
 	downUntil sim.Time // advertised restart time while down (0 when up)
 	epoch     uint64   // incarnation counter; bumped by every crash
@@ -94,11 +97,24 @@ type Server struct {
 	BytesServed   int64
 	Faults        int64 // requests that failed at the disk layer
 	Shed          int64 // requests fast-failed while the breaker was open
+	Throttled     int64 // requests shed by per-tenant token-bucket admission
+	Probes        int64 // half-open probe requests the breaker granted
 	PrefetchHints int64 // server-side cache-warming hints received
 	Crashes       int64
 	Restarts      int64
 	Dropped       int64           // requests that vanished into a down/crashing node
 	Service       stats.Histogram // request residency at this node, seconds
+
+	// Per-tenant accounting, armed by SetFairPolicy (nil otherwise).
+	// For every tenant, arrived == served + shed + faulted + dropped
+	// once the run drains — the per-server half of the QoS conservation
+	// oracle (dropped is nonzero only when the node crashed).
+	TenantArrived []int64
+	TenantServed  []int64
+	TenantShed    []int64 // breaker sheds plus admission throttles
+	TenantFaulted []int64
+	TenantDropped []int64
+	TenantBytes   []int64 // bytes served per tenant
 }
 
 // New creates a server for mesh address node over fs.
@@ -151,6 +167,15 @@ func (s *Server) Crash(until sim.Time) {
 	s.down = true
 	s.downUntil = until
 	s.epoch++
+	if s.fq != nil {
+		// Queued fair-scheduler requests die with the node: no reply
+		// (clients time out, as with any drop into a down node).
+		s.fq.drain(func(op *srvOp) {
+			s.Dropped++
+			s.TenantDropped[op.tenant]++
+			s.putOp(op)
+		})
+	}
 	s.fs.CrashReset()
 	s.emit(trace.NodeCrash, int64(until-s.k.Now()))
 }
@@ -224,6 +249,7 @@ func (s *Server) admit() (shed, probe bool) {
 	case bOpen:
 		if s.k.Now() >= s.shedUntil {
 			s.breaker = bHalfOpen
+			s.Probes++
 			return false, true
 		}
 		return true, false
@@ -347,10 +373,14 @@ func (s *Server) Read(from int, name string, off, n int64, fastPath bool, reply 
 type srvOp struct {
 	s        *Server
 	from     int
+	tenant   int // owning tenant (fair scheduler; 0 outside QoS runs)
 	h        ufs.Handle
 	off, n   int64
 	fastPath bool
 	probe    bool
+	queued   bool   // went through the fair queue: holds a service slot
+	tag      uint64 // SCFQ finish tag (fair scheduler)
+	fseq     uint64 // arrival sequence number, the dispatch tie-break
 	start    sim.Time
 	epoch    uint64
 	err      error // carried to the error-reply delivery
@@ -374,6 +404,8 @@ func (s *Server) getOp() *srvOp {
 func (s *Server) putOp(op *srvOp) {
 	op.h = ufs.Handle{}
 	op.probe = false
+	op.queued = false
+	op.tenant = 0
 	op.err = nil
 	op.reply = nil
 	op.replyArg = nil
@@ -386,22 +418,25 @@ func (s *Server) putOp(op *srvOp) {
 // path: the file arrives as a resolved ufs.Handle and the reply as a
 // callback-plus-arg pair, so serving the request constructs no closures.
 // Dispatch, shedding, epoch discard, accounting, and reply timing are
-// identical to Read.
-func (s *Server) ReadCall(from int, h ufs.Handle, off, n int64, fastPath bool, reply func(any, error), arg any) {
+// identical to Read. tenant attributes the request for the fair
+// scheduler; it is ignored (pass 0) when no FairPolicy is armed.
+func (s *Server) ReadCall(from, tenant int, h ufs.Handle, off, n int64, fastPath bool, reply func(any, error), arg any) {
 	if s.down {
 		s.Dropped++
 		return
 	}
 	s.Requests++
 	op := s.getOp()
-	op.from, op.h, op.off, op.n, op.fastPath = from, h, off, n, fastPath
+	op.from, op.tenant, op.h, op.off, op.n, op.fastPath = from, tenant, h, off, n, fastPath
 	op.reply, op.replyArg = reply, arg
 	op.start = s.k.Now()
 	op.epoch = s.epoch
 	s.onCPUCall(srvReadCPU, op)
 }
 
-// srvReadCPU runs on the server CPU: admission, then the disk read.
+// srvReadCPU runs on the server CPU: breaker admission, then — with a
+// fair policy armed — token-bucket admission and the weighted fair
+// queue; without one, straight to the disk in arrival order.
 func srvReadCPU(v any) {
 	op := v.(*srvOp)
 	s := op.s
@@ -410,18 +445,54 @@ func srvReadCPU(v any) {
 		s.putOp(op)
 		return
 	}
+	if s.fq != nil {
+		op.tenant = s.fq.clampTenant(op.tenant)
+		s.TenantArrived[op.tenant]++
+	}
 	shed, probe := s.admit()
 	if shed {
 		s.Shed++
+		if s.fq != nil {
+			s.TenantShed[op.tenant]++
+		}
 		op.err = ErrOverloaded
 		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
 		return
 	}
 	op.probe = probe
+	if s.fq == nil || probe {
+		// The half-open probe is the breaker's health check, not tenant
+		// work: it bypasses the queue so an idle-but-suspect disk gets
+		// probed immediately.
+		s.startDisk(op)
+		return
+	}
+	if !s.fq.admitBytes(op.tenant, op.n, s.k.Now()) {
+		s.Throttled++
+		s.TenantShed[op.tenant]++
+		s.emit(trace.QoSShed, op.n)
+		op.err = ErrThrottled
+		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
+		return
+	}
+	s.fq.push(op)
+	s.pumpFair()
+}
+
+// startDisk issues op's read at the file system. A synchronous error
+// (bad handle or range) releases op's service slot, so a pumping caller
+// keeps dispatching.
+func (s *Server) startDisk(op *srvOp) {
 	opt := ufs.ReadOptions{FastPath: op.fastPath}
 	if err := s.fs.ReadCall(op.h, op.off, op.n, opt, srvDiskDone, op); err != nil {
-		if probe {
+		if op.probe {
 			s.probeAbort()
+		}
+		if op.queued && s.fq != nil {
+			s.fq.inService--
+		}
+		if s.fq != nil {
+			s.TenantFaulted[op.tenant]++
 		}
 		// Error replies are small control messages.
 		op.err = err
@@ -435,20 +506,39 @@ func srvDiskDone(v any, ioErr error) {
 	s := op.s
 	if s.epoch != op.epoch {
 		// The node crashed while the disk worked. The data (or error)
-		// belongs to a dead incarnation: no reply, no accounting.
+		// belongs to a dead incarnation: no reply, no accounting (the
+		// crash already zeroed the fair queue's in-service count).
 		s.Dropped++
+		if s.fq != nil {
+			s.TenantDropped[op.tenant]++
+		}
 		s.putOp(op)
 		return
 	}
 	s.noteDisk(ioErr != nil, op.probe)
+	wasQueued := op.queued
+	if s.fq != nil {
+		if wasQueued {
+			s.fq.inService--
+		}
+		if ioErr != nil {
+			s.TenantFaulted[op.tenant]++
+		} else {
+			s.TenantServed[op.tenant]++
+			s.TenantBytes[op.tenant] += op.n
+		}
+	}
 	if ioErr != nil {
 		s.Faults++
 		op.err = ioErr
 		s.m.SendCall(s.node, op.from, 64, srvReplyErr, op)
-		return
+	} else {
+		s.BytesServed += op.n
+		s.m.SendCall(s.node, op.from, op.n, srvReplyData, op)
 	}
-	s.BytesServed += op.n
-	s.m.SendCall(s.node, op.from, op.n, srvReplyData, op)
+	if wasQueued {
+		s.pumpFair()
+	}
 }
 
 // srvReplyErr delivers an error reply on the requester.

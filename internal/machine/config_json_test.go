@@ -3,9 +3,11 @@ package machine
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/disk"
+	"repro/internal/ionode"
 	"repro/internal/sim"
 )
 
@@ -29,6 +31,12 @@ func TestConfigRoundTrip(t *testing.T) {
 			MinBuffers: 2, MaxBuffers: 24, Step: 2,
 			LowHit: 0.25, HighHit: 0.75, ServiceSlack: 3},
 	}
+	// QoS knobs: every fair-scheduler field non-zero, including the
+	// cycled weights slice (Config is no longer ==-comparable).
+	orig.Fair = ionode.FairPolicy{
+		Tenants: 12, Weights: []int{4, 2, 1}, Slots: 3,
+		RatePerWeight: 1 << 20, BurstBytes: 256 << 10, FIFO: true,
+	}
 	if err := SaveConfig(path, orig); err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +44,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != orig {
+	if !reflect.DeepEqual(got, orig) {
 		t.Fatalf("round trip changed config:\n got %+v\nwant %+v", got, orig)
 	}
 	// The loaded config must actually build.

@@ -146,6 +146,12 @@ type Config struct {
 	// Cooldown. The zero policy disables shedding.
 	Shed ionode.ShedPolicy
 
+	// Fair installs the per-tenant weighted fair scheduler and
+	// token-bucket admission on every server. The zero policy disables
+	// it — requests reach the disk in arrival order, byte-identical to
+	// the pre-QoS machine.
+	Fair ionode.FairPolicy
+
 	// Crash schedules whole-I/O-node crash–restart cycles.
 	Crash CrashPlan
 	// MemberFail kills one RAID member for good at a fixed time.
@@ -264,6 +270,7 @@ func Build(cfg Config) *Machine {
 		fs := ufs.New(ki, array, ucfg)
 		srv := ionode.New(ki, m, cfg.ComputeNodes+i, fs, cfg.Dispatch)
 		srv.SetShedPolicy(cfg.Shed)
+		srv.SetFairPolicy(cfg.Fair)
 		if ss != nil {
 			// Reply-delivery callbacks run on the requesters' shard;
 			// service-time observation must read that clock.
@@ -272,6 +279,9 @@ func Build(cfg Config) *Machine {
 		mach.Servers = append(mach.Servers, srv)
 	}
 	mach.FS = pfs.Mount(k, m, mach.Servers, cfg.PFS)
+	if cfg.Fair.Enabled() {
+		mach.FS.SetTenants(cfg.Fair.Tenants)
+	}
 	if ss != nil {
 		groupOf := make([]int, m.Nodes()) // compute + grid-slack slots → group 0
 		for i := 0; i < cfg.IONodes; i++ {

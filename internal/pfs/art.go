@@ -93,7 +93,7 @@ func (f *File) artLoop(p *sim.Proc) {
 		var err error
 		if req.Write {
 			sig := f.fsys.getSig()
-			f.fsys.stripeIOInto(sig, f.node, f.meta, req.Off, req.N, true)
+			f.fsys.stripeIOInto(sig, f.node, f.tenant, f.meta, req.Off, req.N, true)
 			err = sig.Wait(p)
 			f.fsys.putSig(sig)
 		} else {

@@ -34,6 +34,8 @@ type File struct {
 	group *OpenGroup
 	rank  int
 
+	tenant int // owning tenant for QoS accounting (0 outside QoS runs)
+
 	offset    int64 // individual file pointer (M_ASYNC)
 	rounds    int64 // M_RECORD: operations completed by this node
 	lastTotal int64 // M_SYNC: size of the last collective round
@@ -90,6 +92,14 @@ func (f *File) StripeGroup() int { return len(f.meta.group) }
 // SetPrefetcher installs (or, with nil, removes) the prefetch service for
 // this open instance.
 func (f *File) SetPrefetcher(pf PrefetchService) { f.pf = pf }
+
+// SetTenant attributes this open instance's I/O to a tenant: every
+// stripe piece it issues (including prefetches on its behalf) carries
+// the id to the I/O-node fair scheduler and the per-tenant accounting.
+func (f *File) SetTenant(t int) { f.tenant = t }
+
+// Tenant returns the owning tenant id.
+func (f *File) Tenant() int { return f.tenant }
 
 // SetMode changes the I/O mode mid-file, as the PFS's setiomode allowed.
 // Switching into a collective mode requires the instance to have been
@@ -370,7 +380,7 @@ func (f *File) BlockingIO(p *sim.Proc, off, n int64) error {
 		return fmt.Errorf("pfs: read [%d,+%d) outside %s (%d bytes)", off, n, f.meta.name, f.meta.size)
 	}
 	sig := f.fsys.getSig()
-	f.fsys.stripeIOInto(sig, f.node, f.meta, off, n, false)
+	f.fsys.stripeIOInto(sig, f.node, f.tenant, f.meta, off, n, false)
 	err := sig.Wait(p)
 	f.fsys.putSig(sig)
 	if err != nil {
@@ -378,6 +388,32 @@ func (f *File) BlockingIO(p *sim.Proc, off, n int64) error {
 	}
 	f.IOBytes += n
 	return nil
+}
+
+// ReadAt performs one blocking positioned read of n bytes at off — the
+// open-loop QoS workload's primitive: no file pointer is shared or
+// advanced, so thousands of tenants can issue independent reads on
+// their own open instances. The call pays the client syscall cost,
+// routes through the prefetcher when one is installed, and accounts
+// like Read (ReadCalls/BytesRead/ReadTime, trace read-start/read-end).
+func (f *File) ReadAt(p *sim.Proc, off, n int64) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 || n <= 0 || off+n > f.meta.size {
+		return 0, fmt.Errorf("pfs: read [%d,+%d) outside %s (%d bytes)", off, n, f.meta.name, f.meta.size)
+	}
+	start := p.Now()
+	f.fsys.emit(trace.ReadStart, f.node, f.meta.name, off, n)
+	defer func() { f.fsys.emit(trace.ReadEnd, f.node, f.meta.name, off, n) }()
+	p.Sleep(f.fsys.cfg.ClientCall)
+	if err := f.performRead(p, off, n); err != nil {
+		return 0, err
+	}
+	f.ReadCalls++
+	f.BytesRead += n
+	f.ReadTime.ObserveTime(p.Now() - start)
+	return n, nil
 }
 
 // HintAt asks the I/O nodes holding [off, off+n) to pull those stripe
@@ -413,7 +449,7 @@ func (f *File) Write(p *sim.Proc, off, n int64) error {
 	}
 	p.Sleep(f.fsys.cfg.ClientCall)
 	sig := f.fsys.getSig()
-	f.fsys.stripeIOInto(sig, f.node, f.meta, off, n, true)
+	f.fsys.stripeIOInto(sig, f.node, f.tenant, f.meta, off, n, true)
 	err := sig.Wait(p)
 	f.fsys.putSig(sig)
 	return err

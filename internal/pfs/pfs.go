@@ -144,6 +144,15 @@ type FileSystem struct {
 	DownWaits      int64 // pieces parked awaiting a crashed node's restart
 	Unavailable    int64 // pieces failed with ErrUnavailable (node dead past deadline)
 	AbandonedBytes int64 // read bytes whose pieces succeeded inside ops that overall failed
+
+	// Per-tenant splits of LateBytes and AbandonedBytes, armed by
+	// SetTenants (nil otherwise). Together with the servers' per-tenant
+	// served bytes they cross-foot the QoS conservation oracle: every
+	// byte a server served for tenant t is delivered to t, late for t,
+	// or abandoned by t.
+	tenants         int
+	tenantLate      []int64
+	tenantAbandoned []int64
 }
 
 // Mount creates a PFS over the given I/O node servers.
@@ -183,6 +192,45 @@ func (fsys *FileSystem) emit(kind trace.Kind, node int, file string, off, n int6
 
 // Servers returns the mount's I/O node servers.
 func (fsys *FileSystem) Servers() []*ionode.Server { return fsys.servers }
+
+// SetTenants arms per-tenant late/abandoned byte accounting for n
+// tenants (n <= 0 disarms it). Files are attributed by File.SetTenant;
+// out-of-range ids fold onto tenant 0.
+func (fsys *FileSystem) SetTenants(n int) {
+	if n <= 0 {
+		fsys.tenants, fsys.tenantLate, fsys.tenantAbandoned = 0, nil, nil
+		return
+	}
+	fsys.tenants = n
+	fsys.tenantLate = make([]int64, n)
+	fsys.tenantAbandoned = make([]int64, n)
+}
+
+// clampTenant folds out-of-range tenant ids onto 0 (matching the
+// ionode scheduler's clamp), and is only called with tenants armed.
+func (fsys *FileSystem) clampTenant(t int) int {
+	if t < 0 || t >= fsys.tenants {
+		return 0
+	}
+	return t
+}
+
+// TenantLateBytes returns tenant t's share of LateBytes (0 when
+// per-tenant accounting is off).
+func (fsys *FileSystem) TenantLateBytes(t int) int64 {
+	if t < 0 || t >= len(fsys.tenantLate) {
+		return 0
+	}
+	return fsys.tenantLate[t]
+}
+
+// TenantAbandonedBytes returns tenant t's share of AbandonedBytes.
+func (fsys *FileSystem) TenantAbandonedBytes(t int) int64 {
+	if t < 0 || t >= len(fsys.tenantAbandoned) {
+		return 0
+	}
+	return fsys.tenantAbandoned[t]
+}
 
 // Create allocates a PFS file of size bytes with the mount's default
 // stripe attributes: unit size from Config, and a stripe group that is
@@ -436,6 +484,7 @@ func (fsys *FileSystem) putSig(s *sim.Signal) {
 type stripeOp struct {
 	fsys      *FileSystem
 	remaining int
+	tenant    int // owning tenant (0 outside QoS runs)
 	firstErr  error
 	recovered bool
 	okBytes   int64 // read bytes of pieces that individually succeeded
@@ -455,6 +504,7 @@ func (fsys *FileSystem) getStripeOp() *stripeOp {
 
 func (fsys *FileSystem) putStripeOp(op *stripeOp) {
 	op.remaining = 0
+	op.tenant = 0
 	op.firstErr = nil
 	op.recovered = false
 	op.okBytes = 0
@@ -483,6 +533,9 @@ func (op *stripeOp) finishOne(err error, retried bool) {
 		// server paid for those bytes, the application never sees them.
 		// Account them so no byte goes missing.
 		fsys.AbandonedBytes += op.okBytes
+		if fsys.tenants > 0 {
+			fsys.tenantAbandoned[op.tenant] += op.okBytes
+		}
 	}
 	done, firstErr := op.done, op.firstErr
 	fsys.putStripeOp(op)
@@ -494,19 +547,25 @@ func (op *stripeOp) finishOne(err error, retried bool) {
 // and delivered back to (or acknowledged for) compute node node. Each
 // piece rides the retry machinery (sendAttempt); with the zero
 // RetryPolicy that machinery degenerates to the plain one-shot issue.
-// The caller owns done (typically a pooled signal) and must keep it
-// until it fires.
-func (fsys *FileSystem) stripeIOInto(done *sim.Signal, node int, meta *fileMeta, off, n int64, write bool) {
+// tenant attributes the pieces for QoS accounting and the server-side
+// fair scheduler (0 outside QoS runs). The caller owns done (typically
+// a pooled signal) and must keep it until it fires.
+func (fsys *FileSystem) stripeIOInto(done *sim.Signal, node, tenant int, meta *fileMeta, off, n int64, write bool) {
+	if fsys.tenants > 0 {
+		tenant = fsys.clampTenant(tenant)
+	}
 	pieces := fsys.declusterInto(off, n, meta.su, len(meta.group))
 	fsys.StripeRequests += int64(len(pieces))
 	op := fsys.getStripeOp()
 	op.remaining = len(pieces)
+	op.tenant = tenant
 	op.write = write
 	op.done = done
 	first := fsys.k.Now()
 	for i := range pieces {
 		at := fsys.getAttempt()
 		at.op, at.meta, at.node, at.pc, at.write = op, meta, node, pieces[i], write
+		at.tenant = tenant
 		at.attempt, at.first, at.settled = 0, first, false
 		fsys.sendAttempt(at)
 	}

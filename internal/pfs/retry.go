@@ -111,6 +111,7 @@ type pieceAttempt struct {
 	op      *stripeOp
 	meta    *fileMeta
 	node    int // requesting compute node
+	tenant  int // owning tenant; its own copy — the op recycles before late replies
 	pc      piece
 	write   bool
 	attempt int
@@ -132,6 +133,7 @@ func (fsys *FileSystem) getAttempt() *pieceAttempt {
 func (fsys *FileSystem) putAttempt(at *pieceAttempt) {
 	at.op = nil
 	at.meta = nil
+	at.tenant = 0
 	at.settled = false
 	at.refs = 0
 	fsys.attemptFree = append(fsys.attemptFree, at)
@@ -149,6 +151,7 @@ func (fsys *FileSystem) releaseAttempt(at *pieceAttempt) {
 func (fsys *FileSystem) cloneAttempt(at *pieceAttempt, renumber int) *pieceAttempt {
 	next := fsys.getAttempt()
 	next.op, next.meta, next.node, next.pc, next.write = at.op, at.meta, at.node, at.pc, at.write
+	next.tenant = at.tenant
 	next.attempt, next.first, next.settled = renumber, at.first, false
 	return next
 }
@@ -205,7 +208,7 @@ func attemptDeliver(v any) {
 		})
 		return
 	}
-	srv.ReadCall(at.node, at.meta.handles[at.pc.server], at.pc.localOff, at.pc.n,
+	srv.ReadCall(at.node, at.tenant, at.meta.handles[at.pc.server], at.pc.localOff, at.pc.n,
 		fsys.cfg.FastPath, pieceReply, at)
 }
 
@@ -220,6 +223,9 @@ func pieceReply(v any, err error) {
 		fsys.LateReplies++
 		if err == nil && !at.write {
 			fsys.LateBytes += at.pc.n
+			if fsys.tenants > 0 {
+				fsys.tenantLate[at.tenant] += at.pc.n
+			}
 		}
 		fsys.releaseAttempt(at)
 		return

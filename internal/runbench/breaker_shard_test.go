@@ -1,0 +1,67 @@
+package runbench
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/scenarios"
+)
+
+// breakerCounters is one server's breaker-visible ledger.
+type breakerCounters struct {
+	Probes, Shed, Faults int64
+}
+
+// TestBreakerProbesAcrossEngines pins the ShedPolicy breaker's half-open
+// probe path to the legacy engine's semantics on every shard width: the
+// chaos platform with the fault rate raised until breakers genuinely
+// trip must produce bit-identical per-server Probes/Shed/Faults counters
+// on the legacy engine and at shards 1, 2, 4, and 8 — and at least one
+// probe must actually fire, or the test proves nothing about the
+// half-open transition.
+func TestBreakerProbesAcrossEngines(t *testing.T) {
+	base := scenarios.Scenario{
+		Name: "breaker-probe",
+		Config: func() machine.Config {
+			cfg := scenarios.ChaosMachine()
+			// Hot enough that servers accumulate Threshold faults in a
+			// window, open their breakers, and later grant half-open
+			// probes; still transient-only, so retries ride everything out.
+			cfg.DiskFaultRate = 0.30
+			// A rate this hot can exhaust the default retry budget by bad
+			// luck; the test is about breaker counters, not give-ups.
+			cfg.PFS.Retry.MaxRetries = 64
+			return cfg
+		},
+	}
+	collect := func(sc scenarios.Scenario) []breakerCounters {
+		t.Helper()
+		res, _, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		var out []breakerCounters
+		for _, s := range res.Machine.Servers {
+			out = append(out, breakerCounters{Probes: s.Probes, Shed: s.Shed, Faults: s.Faults})
+		}
+		return out
+	}
+
+	legacy := collect(base)
+	var probes int64
+	for _, c := range legacy {
+		probes += c.Probes
+	}
+	if probes == 0 {
+		t.Fatalf("no half-open probe fired on the legacy engine; counters %+v", legacy)
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		got := collect(scenarios.WithShards(base, n))
+		for i := range legacy {
+			if got[i] != legacy[i] {
+				t.Errorf("shards=%d server %d: %+v, legacy %+v", n, i, got[i], legacy[i])
+			}
+		}
+	}
+}

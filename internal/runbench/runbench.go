@@ -57,6 +57,13 @@ type Measurement struct {
 	// PerGroupEvents is the per-shard-group event split (sharded engine
 	// only): the load-balance evidence behind any parallel speedup claim.
 	PerGroupEvents []uint64 `json:"per_group_events,omitempty"`
+
+	// Flow-control token accounting (zero unless the scenario arms the
+	// PFS token bucket): operations that consulted the bucket, how many
+	// of them had to wait, and the total simulated time spent waiting.
+	TokenOps     int64   `json:"token_ops,omitempty"`
+	TokenWaits   int64   `json:"token_waits,omitempty"`
+	TokenWaitSec float64 `json:"token_wait_sec,omitempty"`
 }
 
 // Run executes the scenario once with the standard golden trace attached
@@ -118,6 +125,9 @@ func Measure(sc scenarios.Scenario, opt Options) (Measurement, error) {
 	}
 	m.Fingerprint = fmt.Sprintf("%016x", res.Fingerprint())
 	m.TraceDigest = fmt.Sprintf("%016x", tl.Digest())
+	m.TokenOps = res.TokenOps
+	m.TokenWaits = res.TokenWaits
+	m.TokenWaitSec = res.TokenWaitTime.Seconds()
 
 	// Timed passes: repeat the run back to back until the pass has
 	// accumulated minWall, then average. GC triggered by the runs is

@@ -55,6 +55,14 @@ type Scenario struct {
 	// (shifting arrival times shifts which requests draw faults).
 	Recoverable bool
 
+	// QoS marks open-loop multi-tenant scenarios: non-nil means the run
+	// is driven by workload.RunQoS over this spec (Spec is ignored), with
+	// the fair scheduler armed in Cfg.Fair and the QoS oracle set —
+	// determinism, engine differential, per-tenant conservation,
+	// starvation-freedom, and the fairness bound — applied instead of the
+	// file-workload oracles.
+	QoS *workload.QoSSpec
+
 	// Crashy marks crash-chaos scenarios: whole-I/O-node crash–restart
 	// outages (and sometimes a permanent RAID member loss with an online
 	// rebuild) under the restart-aware failover policy, with the workload
@@ -380,6 +388,16 @@ func GenerateCrash(seed int64) Scenario {
 
 // Label renders the scenario compactly for reports.
 func (sc Scenario) Label() string {
+	if q := sc.QoS; q != nil {
+		l := fmt.Sprintf("%dc/%dio qos tenants=%d files=%d req=%dK gap=%v slots=%d rate=%dK burst=%dK weights=%v",
+			sc.Cfg.ComputeNodes, sc.Cfg.IONodes, q.Tenants, q.Files,
+			q.RequestSize>>10, q.MeanGap, sc.Cfg.Fair.Slots,
+			sc.Cfg.Fair.RatePerWeight>>10, sc.Cfg.Fair.BurstBytes>>10, sc.Cfg.Fair.Weights)
+		if q.Prefetch != nil && q.PrefetchEvery > 0 {
+			l += fmt.Sprintf(" pf-every=%d", q.PrefetchEvery)
+		}
+		return l
+	}
 	l := fmt.Sprintf("%dc/%dio %v %s req=%dK file=%dK delay=%v",
 		sc.Cfg.ComputeNodes, sc.Cfg.IONodes, sc.Spec.Mode, patternLabel(sc.Spec),
 		sc.Spec.RequestSize>>10, sc.Spec.FileSize>>10, sc.Spec.ComputeDelay)

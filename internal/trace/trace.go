@@ -34,6 +34,8 @@ const (
 	RebuildIO                  // one background rebuild copy onto the hot spare
 	RebuildDone                // hot spare promoted; the array is healthy again
 	PrefetchRetune             // controller moved Depth/MaxBuffers (Off=depth, N=cap)
+	QoSArrival                 // open-loop tenant request spawned (Node=tenant, N=bytes)
+	QoSShed                    // server shed a request at tenant admission (token bucket)
 )
 
 // String names the kind.
@@ -73,6 +75,10 @@ func (k Kind) String() string {
 		return "rebuild-done"
 	case PrefetchRetune:
 		return "prefetch-retune"
+	case QoSArrival:
+		return "qos-arrival"
+	case QoSShed:
+		return "qos-shed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

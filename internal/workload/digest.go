@@ -111,5 +111,29 @@ func (r *Result) Fingerprint() uint64 {
 		put(uint64(ss.Hints))
 		put(uint64(ss.Reads))
 	}
+	// The QoS ledger folds last and only when armed (RunQoS): legacy
+	// runs never allocate it, so every pre-QoS golden digest is
+	// untouched. Every per-tenant counter participates so an engine
+	// that mis-routes even one request to the wrong tenant diverges.
+	if q := r.QoS; q != nil {
+		put(uint64(len(q.Tenants)))
+		for i := range q.Tenants {
+			ts := &q.Tenants[i]
+			for _, v := range []int64{int64(ts.Weight), ts.Requests,
+				ts.Done, ts.Throttled, ts.Overloaded, ts.Failed,
+				ts.Bytes, ts.SLOMet, int64(ts.SumLatency),
+				int64(ts.MaxLatency), ts.IOBytes, ts.LateBytes,
+				ts.AbandonedBytes, ts.SrvArrived, ts.SrvServed,
+				ts.SrvShed, ts.SrvFaulted, ts.SrvDropped, ts.SrvBytes} {
+				put(uint64(v))
+			}
+		}
+		put(q.Latency.Fingerprint())
+		for _, v := range []int64{q.Arrivals, q.Throttled, q.Overloaded,
+			q.Failed, q.SLOMet} {
+			put(uint64(v))
+		}
+		put(uint64(q.SLO))
+	}
 	return h.Sum64()
 }

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ionode"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func qosTestConfig(shards int) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.Shards = shards
+	cfg.Fair = ionode.FairPolicy{
+		Weights:       []int{4, 2, 1},
+		Slots:         2,
+		RatePerWeight: 64 << 10, // bytes/s per weight unit
+		BurstBytes:    16 << 10,
+	}
+	return cfg
+}
+
+func qosTestSpec(seed int64) QoSSpec {
+	return QoSSpec{
+		Tenants:     24,
+		Files:       6,
+		FileSize:    1 << 20,
+		RequestSize: 16 << 10,
+		Requests:    6,
+		MeanGap:     2 * sim.Millisecond, // well into overload
+		Seed:        seed,
+		SLO:         50 * sim.Millisecond,
+	}
+}
+
+// TestQoSEngineFingerprints is the workload-level determinism check.
+// Whole-result fingerprints are bit-identical run-to-run within an
+// engine and across sharded worker counts; legacy vs sharded differ
+// only in the kernel-history fold (established engine contract), so the
+// cross-engine comparison is on observables: the entire per-tenant QoS
+// ledger, latency histogram, delivery digests, and elapsed time.
+func TestQoSEngineFingerprints(t *testing.T) {
+	legacy, err := RunQoS(qosTestConfig(0), qosTestSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := legacy.QoS; q.Arrivals == 0 || q.Throttled == 0 {
+		t.Fatalf("run too tame: arrivals=%d throttled=%d (admission never engaged)",
+			q.Arrivals, q.Throttled)
+	}
+	legacy2, err := RunQoS(qosTestConfig(0), qosTestSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := legacy.Fingerprint(), legacy2.Fingerprint(); a != b {
+		t.Fatalf("legacy engine not deterministic: %#x vs %#x", a, b)
+	}
+	var shardFP uint64
+	for i, shards := range []int{1, 4} {
+		res, err := RunQoS(qosTestConfig(shards), qosTestSpec(42))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if fp := res.Fingerprint(); i == 0 {
+			shardFP = fp
+		} else if fp != shardFP {
+			t.Fatalf("shards=%d fingerprint %#x != shards=1 %#x", shards, fp, shardFP)
+		}
+		if !reflect.DeepEqual(res.QoS, legacy.QoS) {
+			t.Fatalf("shards=%d QoS ledger diverged from legacy:\n got %+v\nwant %+v",
+				shards, res.QoS, legacy.QoS)
+		}
+		if res.Elapsed != legacy.Elapsed || res.TotalBytes != legacy.TotalBytes {
+			t.Fatalf("shards=%d observables diverged: elapsed %v/%v bytes %d/%d",
+				shards, res.Elapsed, legacy.Elapsed, res.TotalBytes, legacy.TotalBytes)
+		}
+		if !reflect.DeepEqual(res.DeliveryDigests, legacy.DeliveryDigests) {
+			t.Fatalf("shards=%d delivery digests diverged", shards)
+		}
+	}
+}
+
+// TestQoSConservation cross-foots the per-tenant ledgers: every arrival
+// is classified exactly once on the client side, server-side requests
+// balance, and served bytes equal the client's delivered+late+abandoned
+// bytes.
+func TestQoSConservation(t *testing.T) {
+	res, err := RunQoS(qosTestConfig(4), qosTestSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.QoS
+	for ti := range q.Tenants {
+		ts := &q.Tenants[ti]
+		if got := ts.Done + ts.Throttled + ts.Overloaded + ts.Failed; got != ts.Requests {
+			t.Errorf("tenant %d: classified %d of %d arrivals", ti, got, ts.Requests)
+		}
+		if got := ts.SrvServed + ts.SrvShed + ts.SrvFaulted + ts.SrvDropped; got != ts.SrvArrived {
+			t.Errorf("tenant %d: server ledger %d != arrived %d", ti, got, ts.SrvArrived)
+		}
+		if got := ts.IOBytes + ts.LateBytes + ts.AbandonedBytes; got != ts.SrvBytes {
+			t.Errorf("tenant %d: client bytes %d != served bytes %d", ti, got, ts.SrvBytes)
+		}
+		if ts.Done > 0 && ts.Bytes == 0 {
+			t.Errorf("tenant %d: %d completions but zero bytes", ti, ts.Done)
+		}
+	}
+	if int64(q.Latency.N()) != q.Arrivals-q.Throttled-q.Overloaded-q.Failed {
+		t.Errorf("latency samples %d != completions %d", q.Latency.N(),
+			q.Arrivals-q.Throttled-q.Overloaded-q.Failed)
+	}
+}
+
+// TestQoSFIFOSharesSchedule proves the FIFO twin sees the same offered
+// load (same arrivals and per-tenant requests) while producing a
+// different service order — the property the fairness oracle relies on
+// when it compares the two.
+func TestQoSFIFOSharesSchedule(t *testing.T) {
+	wfq, err := RunQoS(qosTestConfig(0), qosTestSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := qosTestConfig(0)
+	cfg.Fair.FIFO = true
+	fifo, err := RunQoS(cfg, qosTestSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wfq.QoS.Arrivals != fifo.QoS.Arrivals {
+		t.Fatalf("arrivals diverged: wfq %d fifo %d", wfq.QoS.Arrivals, fifo.QoS.Arrivals)
+	}
+	for ti := range wfq.QoS.Tenants {
+		if w, f := wfq.QoS.Tenants[ti].Requests, fifo.QoS.Tenants[ti].Requests; w != f {
+			t.Fatalf("tenant %d requests diverged: wfq %d fifo %d", ti, w, f)
+		}
+	}
+	if fifo.QoS.Throttled != 0 {
+		t.Fatalf("FIFO twin throttled %d requests; admission must be off", fifo.QoS.Throttled)
+	}
+}

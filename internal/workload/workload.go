@@ -134,6 +134,10 @@ type Result struct {
 	TokenOps      int64
 	TokenWaits    int64
 	TokenWaitTime sim.Time
+
+	// QoS is the open-loop multi-tenant ledger (RunQoS only, nil
+	// elsewhere). When present it is folded into the fingerprint.
+	QoS *QoSResult
 }
 
 // FaultCounters aggregates the fault-path counters of the PFS client, the
