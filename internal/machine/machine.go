@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/disk"
 	"repro/internal/ionode"
@@ -119,6 +120,14 @@ type Config struct {
 	// build time, so results stay bit-identical at every worker count.
 	// Ignored in legacy mode (Shards == 0).
 	IOGroups int
+
+	// Queue selects the kernel's event-queue implementation:
+	// sim.QueueHeap (binary min-heap), sim.QueueLadder (amortized-O(1)
+	// ladder queue), or "" for the default (heap). Both realize the
+	// identical (time, seq) total order, so the choice changes
+	// per-event cost only — fingerprints and trace digests are
+	// bit-identical, and detgate pins that on the golden scenarios.
+	Queue string
 
 	// DiskFaultRate arms per-request fault injection on every member
 	// disk (0 disables). Faults surface as read errors at the
@@ -233,10 +242,10 @@ func Build(cfg Config) *Machine {
 		if cfg.IOGroups > 0 && cfg.IOGroups < groups {
 			groups = cfg.IOGroups
 		}
-		ss = sim.NewShardSet(1+groups, cfg.Mesh.HopLatency+cfg.Mesh.RecvOverhead)
+		ss = sim.NewShardSetQueue(1+groups, cfg.Mesh.HopLatency+cfg.Mesh.RecvOverhead, cfg.Queue)
 		k = ss.Kernel(0)
 	} else {
-		k = sim.NewKernel()
+		k = sim.NewKernelQueue(cfg.Queue)
 	}
 	m := mesh.New(k, cfg.Mesh)
 	mach := &Machine{K: k, Mesh: m, cfg: cfg, ss: ss}
@@ -472,6 +481,35 @@ func (m *Machine) PerGroupExecuted() []uint64 {
 		return m.ss.PerGroupExecuted()
 	}
 	return nil
+}
+
+// QueueName reports which event-queue implementation the machine's
+// kernels run on (resolving the config default).
+func (m *Machine) QueueName() string {
+	if m.ss != nil {
+		return m.ss.QueueName()
+	}
+	return m.K.QueueName()
+}
+
+// MaxQueueDepth reports the deepest any kernel's event queue ever got —
+// a deterministic property of the schedule (runbench records it as
+// max_queue_depth).
+func (m *Machine) MaxQueueDepth() int {
+	if m.ss != nil {
+		return m.ss.MaxPending()
+	}
+	return m.K.MaxPending()
+}
+
+// BarrierDrainWall reports cumulative wall-clock time spent in the
+// sharded engine's single-threaded barrier drain (zero in legacy mode)
+// — the serial fraction bounding parallel speedup.
+func (m *Machine) BarrierDrainWall() time.Duration {
+	if m.ss != nil {
+		return m.ss.DrainWall()
+	}
+	return 0
 }
 
 // KernelFingerprint hashes the execution history: the kernel's own

@@ -2,6 +2,72 @@ package sim
 
 import "testing"
 
+// FuzzQueueOrder feeds both event-queue implementations arbitrary
+// interleavings of pushes (times at four magnitudes, from adjacent
+// ticks to far-future DownDeadline-scale timers, including exact ties)
+// and pops, and asserts the ladder queue's pop sequence equals the
+// heap's exactly — the (time, seq) total order both must realize.
+func FuzzQueueOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 255, 3, 3})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{0x0c, 0xff, 0x1c, 0xff, 0x2c, 0x01, 3, 3, 3})
+	f.Add([]byte{0x40, 0x10, 0x20, 3, 0x44, 0xff, 0xff, 3, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		hp := &eventHeap{}
+		lq := newLadderQueue()
+		var seq uint64
+		size := 0
+		popBoth := func() {
+			a, b := hp.pop(), lq.pop()
+			if a.t != b.t || a.seq != b.seq {
+				t.Fatalf("pop mismatch: heap (%v, %d) vs ladder (%v, %d)", a.t, a.seq, b.t, b.seq)
+			}
+			size--
+		}
+		i := 0
+		next := func() byte {
+			if i < len(data) {
+				b := data[i]
+				i++
+				return b
+			}
+			return 0
+		}
+		for i < len(data) {
+			op := next()
+			if op&3 == 3 {
+				if size > 0 {
+					popBoth()
+				}
+				continue
+			}
+			// Times span the kernel's whole legal domain [0, 1<<62) —
+			// masked, not clamped, so far-future magnitudes stay
+			// covered without overflowing Time (see ladder.go).
+			scale := []uint64{1, 1 << 10, 1 << 30, 1 << 50}[(op>>2)&3]
+			v := uint64(next())
+			if op&0x40 != 0 {
+				v = v*256 + uint64(next())
+			}
+			tm := Time(v * scale & (1<<62 - 1))
+			seq++
+			hp.push(&event{t: tm, seq: seq})
+			lq.push(&event{t: tm, seq: seq})
+			size++
+		}
+		for size > 0 {
+			popBoth()
+		}
+		if tm, ok := lq.peek(); ok {
+			t.Fatalf("ladder not empty after drain: peek %v", tm)
+		}
+	})
+}
+
 // FuzzKernelOrdering feeds the scheduler arbitrary shapes of At/After
 // schedules — including events that schedule further events while
 // running — and asserts the kernel's core contract: every scheduled

@@ -97,20 +97,56 @@ func (h *eventHeap) pop() *event {
 // its rank among same-instant events — is a pure function of the
 // simulation's data, identical at every worker count.
 type Kernel struct {
-	now      Time
-	seq      uint64
-	events   eventHeap
-	yield    chan struct{} // hand-off channel shared by all procs
-	live     int           // procs started and not yet finished
-	daemons  int           // live procs marked as daemons (service loops)
-	executed uint64        // events run so far
-	failed   error         // first process panic, if any
-	free     []*event      // recycled event structs (see event)
+	now        Time
+	seq        uint64
+	events     eventHeap
+	ladder     *ladderQueue  // non-nil when the ladder queue is selected; events is unused then
+	yield      chan struct{} // hand-off channel shared by all procs
+	live       int           // procs started and not yet finished
+	daemons    int           // live procs marked as daemons (service loops)
+	executed   uint64        // events run so far
+	failed     error         // first process panic, if any
+	free       []*event      // recycled event structs (see event)
+	maxPending int           // high-water mark of the pending-event count
 }
 
-// NewKernel returns an empty kernel with the clock at zero.
+// Event queue implementations selectable by NewKernelQueue and, through
+// machine.Config.Queue, by every scenario. Both order events by the
+// identical (time, seq) total order — the choice changes per-event cost,
+// never the schedule — so fingerprints and trace digests are
+// bit-identical across queues and detgate pins that equivalence.
+const (
+	QueueHeap   = "heap"   // binary min-heap, O(log n) per operation (the default)
+	QueueLadder = "ladder" // ladder queue, amortized O(1) per operation (see ladder.go)
+)
+
+// NewKernel returns an empty kernel with the clock at zero, using the
+// default binary-heap event queue.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return NewKernelQueue(QueueHeap)
+}
+
+// NewKernelQueue returns an empty kernel using the named event queue
+// implementation: QueueHeap, QueueLadder, or "" for the default (heap).
+// Unknown names panic — a typo in a config must not silently fall back.
+func NewKernelQueue(queue string) *Kernel {
+	k := &Kernel{yield: make(chan struct{})}
+	switch queue {
+	case "", QueueHeap:
+	case QueueLadder:
+		k.ladder = newLadderQueue()
+	default:
+		panic(fmt.Sprintf("sim: unknown event queue implementation %q", queue))
+	}
+	return k
+}
+
+// QueueName reports which event queue implementation the kernel runs on.
+func (k *Kernel) QueueName() string {
+	if k.ladder != nil {
+		return QueueLadder
+	}
+	return QueueHeap
 }
 
 // Now returns the current simulated time.
@@ -119,14 +155,53 @@ func (k *Kernel) Now() Time { return k.now }
 // peek returns the time of the earliest pending event, if any. The
 // sharded scheduler uses it to compute each round's lookahead window.
 func (k *Kernel) peek() (Time, bool) {
+	if k.ladder != nil {
+		return k.ladder.peek()
+	}
 	if len(k.events) == 0 {
 		return 0, false
 	}
 	return k.events[0].t, true
 }
 
+// qpush inserts a booked event into whichever queue the kernel runs on
+// and tracks the pending-count high-water mark.
+func (k *Kernel) qpush(e *event) {
+	if k.ladder != nil {
+		k.ladder.push(e)
+		if k.ladder.n > k.maxPending {
+			k.maxPending = k.ladder.n
+		}
+		return
+	}
+	k.events.push(e)
+	if n := len(k.events); n > k.maxPending {
+		k.maxPending = n
+	}
+}
+
+// qpop removes and returns the earliest pending event. Both queues pop
+// in the identical (time, seq) order; callers must know the queue is
+// non-empty.
+func (k *Kernel) qpop() *event {
+	if k.ladder != nil {
+		return k.ladder.pop()
+	}
+	return k.events.pop()
+}
+
 // Pending reports the number of events waiting to run.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int {
+	if k.ladder != nil {
+		return k.ladder.n
+	}
+	return len(k.events)
+}
+
+// MaxPending reports the high-water mark of the pending-event count —
+// the deepest the event queue ever got. It is a deterministic property
+// of the schedule (runbench records it as max_queue_depth).
+func (k *Kernel) MaxPending() int { return k.maxPending }
 
 // Live reports the number of processes that have been created and have not
 // yet returned. After Run, a nonzero value means some processes are blocked
@@ -159,11 +234,15 @@ func (k *Kernel) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
-// schedule books a pooled event at absolute time t and returns it for
-// the caller to attach a callback. Scheduling in the past (t < Now)
-// panics: it would silently reorder causality. The heap orders events by
-// (t, seq) only, so pushing before the callback fields are set is safe.
-func (k *Kernel) schedule(t Time) *event {
+// book assigns the next sequence number to a pooled event at absolute
+// time t without inserting it into the queue. Booking in the past
+// (t < Now) panics: it would silently reorder causality. The split from
+// queue insertion exists for the shard barrier drain, which books
+// deliveries in canonical merge order (fixing their seq, and hence
+// their rank among same-instant events) but batches the queue inserts
+// per destination group — insertion order cannot affect the (t, seq)
+// priority, so the batching is invisible to the schedule.
+func (k *Kernel) book(t Time) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
@@ -177,7 +256,16 @@ func (k *Kernel) schedule(t Time) *event {
 		e = &event{}
 	}
 	e.t, e.seq = t, k.seq
-	k.events.push(e)
+	return e
+}
+
+// schedule books a pooled event at absolute time t, inserts it, and
+// returns it for the caller to attach a callback. The queue orders
+// events by (t, seq) only, so pushing before the callback fields are
+// set is safe.
+func (k *Kernel) schedule(t Time) *event {
+	e := k.book(t)
+	k.qpush(e)
 	return e
 }
 
@@ -235,13 +323,16 @@ func (k *Kernel) Run() error {
 // a drained queue with live processes is not an error when the deadline
 // cut the run short.
 func (k *Kernel) RunUntil(deadline Time) error {
-	for len(k.events) > 0 {
-		e := k.events[0]
-		if e.t > deadline {
+	for {
+		t, ok := k.peek()
+		if !ok {
+			break
+		}
+		if t > deadline {
 			k.now = deadline
 			return k.failed
 		}
-		k.events.pop()
+		e := k.qpop()
 		k.now = e.t
 		k.executed++
 		fn, cfn, ecfn, arg, err := e.fn, e.cfn, e.ecfn, e.arg, e.err

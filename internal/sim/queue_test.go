@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// xorshift is the deterministic pseudo-random source the queue tests
+// share; no math/rand so the streams are pinned byte-for-byte.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// queueUnderTest abstracts the two implementations for differential
+// tests. Both must pop the identical (t, seq) order.
+type queueUnderTest interface {
+	push(*event)
+	pop() *event
+}
+
+// TestQueueDifferentialDistributions drives the ladder queue and the
+// heap with identical (t, seq) streams across the time distributions
+// that exercise every ladder path — uniform narrow and wide spans,
+// heavy same-instant ties, bimodal near+far (the DownDeadline shape) —
+// first push-all/pop-all, then a hold-model interleaving, asserting the
+// pop sequences match exactly.
+func TestQueueDifferentialDistributions(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *xorshift) Time
+	}{
+		{"narrow", func(r *xorshift) Time { return Time(r.next() % 1000) }},
+		{"wide", func(r *xorshift) Time { return Time(r.next() % (1 << 40)) }},
+		{"ties", func(r *xorshift) Time { return Time(r.next()%16) * 1000 }},
+		{"constant", func(r *xorshift) Time { return 42 }},
+		{"bimodal", func(r *xorshift) Time {
+			if r.next()%8 == 0 {
+				return Time(1<<40 + r.next()%1000)
+			}
+			return Time(r.next() % 1000)
+		}},
+	}
+	sizes := []int{1, 10, 1000, 30000}
+	for _, d := range dists {
+		for _, n := range sizes {
+			t.Run(fmt.Sprintf("%s/n=%d", d.name, n), func(t *testing.T) {
+				hp := &eventHeap{}
+				lq := newLadderQueue()
+				r := xorshift(0xdeadbeef ^ uint64(n))
+				var seq uint64
+				push := func(tm Time) {
+					seq++
+					hp.push(&event{t: tm, seq: seq})
+					lq.push(&event{t: tm, seq: seq})
+				}
+				popBoth := func() Time {
+					a, b := hp.pop(), lq.pop()
+					if a.t != b.t || a.seq != b.seq {
+						t.Fatalf("pop mismatch: heap (%v, %d) vs ladder (%v, %d)", a.t, a.seq, b.t, b.seq)
+					}
+					return a.t
+				}
+
+				for i := 0; i < n; i++ {
+					push(d.gen(&r))
+				}
+				// Hold-model interleaving: pop the earliest, push a
+				// replacement later than it.
+				for i := 0; i < 2*n; i++ {
+					tm := popBoth()
+					push(tm + d.gen(&r)%1000 + 1)
+				}
+				for i := 0; i < n; i++ {
+					popBoth()
+				}
+				if tm, ok := lq.peek(); ok {
+					t.Fatalf("ladder not empty after drain: peek %v", tm)
+				}
+				if lq.n != 0 || len(*hp) != 0 {
+					t.Fatalf("residual events: ladder %d, heap %d", lq.n, len(*hp))
+				}
+			})
+		}
+	}
+}
+
+// TestLadderFarFutureTimer pins the epoch/overflow story: one resident
+// far-future timer (the DownDeadline shape) must not break ordering —
+// and must not make near-time churn grow the bottom array without
+// bound.
+func TestLadderFarFutureTimer(t *testing.T) {
+	lq := newLadderQueue()
+	var seq uint64
+	push := func(tm Time) {
+		seq++
+		lq.push(&event{t: tm, seq: seq})
+	}
+	const far = Time(1) << 40
+	push(far)
+	for i := 0; i < 10000; i++ {
+		push(Time(i))
+		e := lq.pop()
+		if e.t != Time(i) {
+			t.Fatalf("near churn pop %d: got t=%v", i, e.t)
+		}
+	}
+	if e := lq.pop(); e.t != far {
+		t.Fatalf("far timer popped at t=%v, want %v", e.t, far)
+	}
+	if got := len(lq.bottom); got > 64 {
+		t.Fatalf("bottom grew to %d slots under near-time churn; dead-prefix reclamation is broken", got)
+	}
+}
+
+// TestNewKernelQueueNames: "" and "heap" select the heap, "ladder" the
+// ladder, anything else is a loud config error.
+func TestNewKernelQueueNames(t *testing.T) {
+	if got := NewKernelQueue("").QueueName(); got != QueueHeap {
+		t.Fatalf("default queue = %q, want %q", got, QueueHeap)
+	}
+	if got := NewKernelQueue(QueueHeap).QueueName(); got != QueueHeap {
+		t.Fatalf("heap queue = %q", got)
+	}
+	if got := NewKernelQueue(QueueLadder).QueueName(); got != QueueLadder {
+		t.Fatalf("ladder queue = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unknown queue name")
+		}
+	}()
+	NewKernelQueue("splay")
+}
+
+// TestKernelQueueEquivalence runs the same self-rescheduling workload on
+// a heap kernel and a ladder kernel and requires identical execution
+// records and fingerprints — the kernel-level differential the detgate
+// golden matrix extends to full scenarios.
+func TestKernelQueueEquivalence(t *testing.T) {
+	type rec struct {
+		t  Time
+		id int
+	}
+	run := func(queue string) ([]rec, uint64) {
+		k := NewKernelQueue(queue)
+		var out []rec
+		r := xorshift(0x12345)
+		id := 0
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			me := id
+			id++
+			k.After(Time(r.next()%5000), func() {
+				out = append(out, rec{k.Now(), me})
+				if depth < 4 && r.next()%3 == 0 {
+					spawn(depth + 1)
+					spawn(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < 200; i++ {
+			spawn(0)
+		}
+		// A far-future daemon-style timer amid the churn.
+		k.After(10*Second, func() { out = append(out, rec{k.Now(), -1}) })
+		if err := k.Run(); err != nil {
+			t.Fatalf("%s run: %v", queue, err)
+		}
+		return out, k.Fingerprint()
+	}
+	h, hfp := run(QueueHeap)
+	l, lfp := run(QueueLadder)
+	if hfp != lfp {
+		t.Fatalf("fingerprint mismatch: heap %016x, ladder %016x", hfp, lfp)
+	}
+	if len(h) != len(l) {
+		t.Fatalf("executed %d events on heap, %d on ladder", len(h), len(l))
+	}
+	for i := range h {
+		if h[i] != l[i] {
+			t.Fatalf("execution %d: heap %+v, ladder %+v", i, h[i], l[i])
+		}
+	}
+}
+
+// TestKernelMaxPending: the high-water mark counts the deepest the
+// queue got, on both implementations.
+func TestKernelMaxPending(t *testing.T) {
+	for _, queue := range []string{QueueHeap, QueueLadder} {
+		k := NewKernelQueue(queue)
+		for i := 0; i < 37; i++ {
+			k.At(Time(i), func() {})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := k.MaxPending(); got != 37 {
+			t.Fatalf("%s MaxPending = %d, want 37", queue, got)
+		}
+		if got := k.Pending(); got != 0 {
+			t.Fatalf("%s Pending after drain = %d", queue, got)
+		}
+	}
+}
+
+// TestShardSetQueueEquivalence: a sharded ping-pong on ladder kernels
+// matches the heap fingerprint, and the drain-wall/max-depth telemetry
+// is populated.
+func TestShardSetQueueEquivalence(t *testing.T) {
+	const L = Time(10)
+	run := func(queue string) (*ShardSet, uint64) {
+		ss := NewShardSetQueue(4, L, queue)
+		if got := ss.QueueName(); got != queue {
+			t.Fatalf("QueueName = %q, want %q", got, queue)
+		}
+		ss.SetResolver(echoResolver{l: L})
+		n := 0
+		var bounce func(g int) func()
+		bounce = func(g int) func() {
+			return func() {
+				n++
+				if n < 200 {
+					p := ss.Post(g)
+					p.Dst = (g + 1) % 4
+					p.Fn = bounce((g + 1) % 4)
+				}
+			}
+		}
+		ss.Kernel(0).At(0, bounce(0))
+		if err := ss.Run(2); err != nil {
+			t.Fatal(err)
+		}
+		return ss, ss.Fingerprint()
+	}
+	hss, hfp := run(QueueHeap)
+	lss, lfp := run(QueueLadder)
+	if hfp != lfp {
+		t.Fatalf("sharded fingerprint mismatch: heap %016x, ladder %016x", hfp, lfp)
+	}
+	for _, ss := range []*ShardSet{hss, lss} {
+		if ss.MaxPending() < 1 {
+			t.Fatalf("MaxPending = %d, want >= 1", ss.MaxPending())
+		}
+		if ss.DrainWall() <= 0 {
+			t.Fatalf("DrainWall = %v, want > 0", ss.DrainWall())
+		}
+	}
+}

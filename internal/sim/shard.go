@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"time"
 )
 
 // This file implements the sharded execution engine: a conservative
@@ -99,12 +100,23 @@ type ShardSet struct {
 	postSeq []uint64  // per-group send sequence (the "seq" of the total order)
 	free    [][]*Post // per-group Post pools; filled by drain, drained by Post
 	errs    []error   // per-group RunUntil results for the current round
+
+	merge     []int32    // reused drain merge heap over source groups with pending posts
+	batch     [][]*event // reused per-destination-group delivery batches (booked, not yet queued)
+	drainWall time.Duration
 }
 
-// NewShardSet builds groups empty kernels coupled by lookahead. The
-// lookahead must be positive: a zero bound would admit same-instant
-// cross-group delivery, which the windowed protocol cannot order.
+// NewShardSet builds groups empty kernels coupled by lookahead, using
+// the default event queue (heap). The lookahead must be positive: a
+// zero bound would admit same-instant cross-group delivery, which the
+// windowed protocol cannot order.
 func NewShardSet(groups int, lookahead Time) *ShardSet {
+	return NewShardSetQueue(groups, lookahead, QueueHeap)
+}
+
+// NewShardSetQueue is NewShardSet with every group's kernel on the
+// named event queue implementation (see NewKernelQueue).
+func NewShardSetQueue(groups int, lookahead Time, queue string) *ShardSet {
 	if groups < 1 {
 		panic(fmt.Sprintf("sim: shard set needs at least one group, got %d", groups))
 	}
@@ -119,12 +131,18 @@ func NewShardSet(groups int, lookahead Time) *ShardSet {
 		postSeq:   make([]uint64, groups),
 		free:      make([][]*Post, groups),
 		errs:      make([]error, groups),
+		merge:     make([]int32, 0, groups),
+		batch:     make([][]*event, groups),
 	}
 	for g := range ss.kernels {
-		ss.kernels[g] = NewKernel()
+		ss.kernels[g] = NewKernelQueue(queue)
 	}
 	return ss
 }
+
+// QueueName reports which event queue implementation the group kernels
+// run on.
+func (ss *ShardSet) QueueName() string { return ss.kernels[0].QueueName() }
 
 // Groups reports the number of node groups in the partition.
 func (ss *ShardSet) Groups() int { return len(ss.kernels) }
@@ -252,35 +270,92 @@ func (ss *ShardSet) Run(workers int) error {
 	return nil
 }
 
+// srcLess orders two source groups by their head posts: earliest send
+// time wins, lowest group breaks ties. Each outbox is sorted by
+// construction (clocks only move forward within a group, and Seq
+// increments per send), so comparing heads is comparing the groups'
+// next posts in the canonical (time, shard, seq) order.
+func (ss *ShardSet) srcLess(a, b int32) bool {
+	ta := ss.outbox[a][ss.head[a]].T
+	tb := ss.outbox[b][ss.head[b]].T
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+// mergeFix restores the merge-heap property at index i by sifting down.
+func (ss *ShardSet) mergeFix(i int) {
+	h := ss.merge
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && ss.srcLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && ss.srcLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // drain resolves every outboxed post of the finished round in the
-// canonical (time, shard, seq) total order, scheduling deliveries on
-// the target kernels. Single-threaded: this is the only code that runs
-// between rounds, so the resolver may safely touch shared model state.
+// canonical (time, shard, seq) total order. Single-threaded: this is
+// the only code that runs between rounds, so the resolver may safely
+// touch shared model state.
+//
+// The merge runs over per-source FIFO runs (posts are already bucketed
+// per group at send time) through a small index heap keyed on each
+// source's head post — O(P log A) for P posts over A active sources,
+// instead of scanning every group per post. Deliveries are booked on
+// their target kernel in merge order — fixing each event's seq, and
+// hence the documented total order — but the queue insertions are
+// batched per destination group and flushed after the merge: insertion
+// order cannot affect the (t, seq) priority, so the batching is
+// invisible to the schedule while keeping the queue work sequential
+// per kernel. All merge and batch storage is reused across rounds.
 func (ss *ShardSet) drain() {
 	G := len(ss.outbox)
-	for {
-		best := -1
-		var bt Time
-		// Outboxes are sorted by construction (clocks only move forward
-		// within a group, and Seq increments per send), so the merge only
-		// compares heads: earliest time wins, lowest group breaks ties.
-		for g := 0; g < G; g++ {
-			if ss.head[g] < len(ss.outbox[g]) {
-				if t := ss.outbox[g][ss.head[g]].T; best < 0 || t < bt {
-					best, bt = g, t
-				}
-			}
+	h := ss.merge[:0]
+	for g := 0; g < G; g++ {
+		if len(ss.outbox[g]) > 0 {
+			h = append(h, int32(g))
 		}
-		if best < 0 {
-			break
+	}
+	if len(h) == 0 {
+		ss.merge = h
+		return
+	}
+	start := time.Now()
+	if ss.resolver == nil {
+		panic("sim: shard set has posts but no resolver")
+	}
+	// Heapify (sources arrive in ascending group order, which is not
+	// necessarily head-time order).
+	ss.merge = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		ss.mergeFix(i)
+	}
+	for len(ss.merge) > 0 {
+		g := ss.merge[0]
+		p := ss.outbox[g][ss.head[g]]
+		ss.outbox[g][ss.head[g]] = nil
+		ss.head[g]++
+		if ss.head[g] < len(ss.outbox[g]) {
+			ss.mergeFix(0)
+		} else {
+			n := len(ss.merge) - 1
+			ss.merge[0] = ss.merge[n]
+			ss.merge = ss.merge[:n]
+			ss.mergeFix(0)
 		}
-		p := ss.outbox[best][ss.head[best]]
-		ss.outbox[best][ss.head[best]] = nil
-		ss.head[best]++
 
-		if ss.resolver == nil {
-			panic("sim: shard set has posts but no resolver")
-		}
 		grp, at, deliver := ss.resolver.Resolve(p)
 		if deliver {
 			if at < p.T+ss.lookahead {
@@ -288,20 +363,52 @@ func (ss *ShardSet) drain() {
 					"sim: lookahead violation: post sent at %v resolves to arrival %v, below the %v bound",
 					p.T, at, ss.lookahead))
 			}
-			k := ss.kernels[grp]
-			if p.CFn != nil {
-				k.AtCall(at, p.CFn, p.Arg)
-			} else if p.Fn != nil {
-				k.At(at, p.Fn)
+			if p.CFn != nil || p.Fn != nil {
+				e := ss.kernels[grp].book(at)
+				if p.CFn != nil {
+					e.cfn, e.arg = p.CFn, p.Arg
+				} else {
+					e.fn = p.Fn
+				}
+				ss.batch[grp] = append(ss.batch[grp], e)
 			}
 		}
 		p.Fn, p.CFn, p.Arg = nil, nil, nil
 		ss.free[p.SrcGroup] = append(ss.free[p.SrcGroup], p)
 	}
+	for grp, evs := range ss.batch {
+		if len(evs) == 0 {
+			continue
+		}
+		k := ss.kernels[grp]
+		for i, e := range evs {
+			k.qpush(e)
+			evs[i] = nil
+		}
+		ss.batch[grp] = evs[:0]
+	}
 	for g := 0; g < G; g++ {
 		ss.outbox[g] = ss.outbox[g][:0]
 		ss.head[g] = 0
 	}
+	ss.drainWall += time.Since(start)
+}
+
+// DrainWall reports the cumulative wall-clock time spent inside the
+// single-threaded barrier drain — the serial fraction that bounds
+// parallel speedup (runbench records it as barrier_drain_sec). It is
+// measurement, not model state: the simulation cannot observe it.
+func (ss *ShardSet) DrainWall() time.Duration { return ss.drainWall }
+
+// MaxPending reports the deepest any group's event queue ever got.
+func (ss *ShardSet) MaxPending() int {
+	max := 0
+	for _, k := range ss.kernels {
+		if n := k.MaxPending(); n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // Executed reports the total events retired across all groups.
